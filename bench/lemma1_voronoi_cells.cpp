@@ -1,0 +1,93 @@
+// Reproduces Lemma 1: under Uniform popularity the maximum Voronoi cell of
+// any file's replica set is O(K log n / M) w.h.p. (and Θ of it for
+// K = n^{1-ε}, M = Θ(1)).
+//
+// The bench builds placements across n, tessellates every file's replica
+// set, records the maximum cell size, and tracks the ratio
+// max_cell / (K ln n / M), which must stay bounded (and roughly constant).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "catalog/placement.hpp"
+#include "random/seeding.hpp"
+#include "spatial/voronoi.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace proxcache;
+
+int run(const bench::BenchOptions& options) {
+  const bench::ScopedBenchTimer bench_timer("lemma1_voronoi_cells");
+  const std::vector<std::size_t> node_counts = {400, 900, 2025, 4096, 8100};
+  const double epsilon = 0.5;  // K = n^{1-eps} = sqrt(n), M = 1
+
+  Table table({"n", "K", "mean max cell", "K ln n / M", "ratio",
+               "mean cell dist"});
+  bool bounded = true;
+  std::vector<double> ratios;
+  for (const std::size_t n : node_counts) {
+    const auto k = static_cast<std::size_t>(
+        std::round(std::pow(static_cast<double>(n), 1.0 - epsilon)));
+    const Lattice lattice = Lattice::from_node_count(n, Wrap::Torus);
+    Summary max_cells;
+    Summary mean_dist;
+    for (std::size_t run_index = 0; run_index < options.runs; ++run_index) {
+      Rng rng(derive_seed(options.seed, {run_index, seed_phase::kPlacement}));
+      const Placement placement = Placement::generate(
+          n, Popularity::uniform(k), 1,
+          PlacementMode::ProportionalWithReplacement, rng);
+      std::size_t worst = 0;
+      double dist_acc = 0.0;
+      std::size_t files_seen = 0;
+      for (FileId j = 0; j < k; ++j) {
+        const auto replicas = placement.replicas(j);
+        if (replicas.empty()) continue;
+        const VoronoiTessellation voronoi(
+            lattice, std::vector<NodeId>(replicas.begin(), replicas.end()));
+        worst = std::max(worst, voronoi.max_cell_size());
+        dist_acc += voronoi.mean_distance();
+        ++files_seen;
+      }
+      max_cells.add(static_cast<double>(worst));
+      if (files_seen > 0) {
+        mean_dist.add(dist_acc / static_cast<double>(files_seen));
+      }
+    }
+    const double envelope = static_cast<double>(k) *
+                            std::log(static_cast<double>(n));
+    const double ratio = max_cells.mean() / envelope;
+    ratios.push_back(ratio);
+    bounded &= ratio < 3.0;
+    table.add_row({Cell(static_cast<std::int64_t>(n)),
+                   Cell(static_cast<std::int64_t>(k)),
+                   Cell(max_cells.mean(), 1), Cell(envelope, 1),
+                   Cell(ratio, 3), Cell(mean_dist.mean(), 2)});
+  }
+  bench::print_table(table, options);
+
+  const auto [lo, hi] = std::minmax_element(ratios.begin(), ratios.end());
+  bench::print_verdict(bounded,
+                       "max Voronoi cell stays within O(K log n / M)");
+  bench::print_verdict(*hi / *lo < 3.0,
+                       "ratio to K log n / M is roughly constant "
+                       "(Theta, not just O)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = proxcache::bench::parse_bench_options(
+      argc, argv, "lemma1_voronoi_cells",
+      "Lemma 1: maximum per-file Voronoi cell is Theta(K log n / M)",
+      /*quick_runs=*/10, /*paper_runs=*/200);
+  proxcache::bench::print_banner(
+      "Lemma 1 — Voronoi cell census",
+      "torus, K = sqrt(n), M = 1, uniform popularity; tessellate every file",
+      "max cell size = Theta(K log n / M) w.h.p.", options);
+  return run(options);
+}

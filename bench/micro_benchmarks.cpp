@@ -1,0 +1,184 @@
+// Google-benchmark microbenchmarks of the hot paths: sampler draws,
+// placement generation, nearest-replica queries (both algorithms), radius
+// streaming, strategy assignment and configuration-graph construction.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "catalog/placement.hpp"
+#include "core/nearest_replica.hpp"
+#include "core/two_choice.hpp"
+#include "graph/config_graph.hpp"
+#include "random/alias_sampler.hpp"
+#include "spatial/replica_index.hpp"
+#include "spatial/voronoi.hpp"
+#include "topology/shells.hpp"
+
+namespace {
+
+using namespace proxcache;
+
+struct World {
+  World(std::size_t n, std::size_t k, std::size_t m)
+      : lattice(Lattice::from_node_count(n, Wrap::Torus)),
+        popularity(Popularity::uniform(k)),
+        placement([&] {
+          Rng rng(42);
+          return Placement::generate(
+              n, popularity, m, PlacementMode::ProportionalWithReplacement,
+              rng);
+        }()),
+        index(lattice, placement) {}
+
+  Lattice lattice;
+  Popularity popularity;
+  Placement placement;
+  ReplicaIndex index;
+};
+
+World& world() {
+  static World instance(2025, 500, 20);
+  return instance;
+}
+
+void BM_AliasSamplerDraw(benchmark::State& state) {
+  const AliasSampler sampler(Popularity::zipf(2000, 0.8).pmf());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSamplerDraw);
+
+void BM_LatticeDistance(benchmark::State& state) {
+  const Lattice& lattice = world().lattice;
+  Rng rng(2);
+  NodeId u = 7;
+  for (auto _ : state) {
+    const NodeId v = static_cast<NodeId>(rng.below(lattice.size()));
+    benchmark::DoNotOptimize(lattice.distance(u, v));
+    u = v;
+  }
+}
+BENCHMARK(BM_LatticeDistance);
+
+void BM_ShellEnumeration(benchmark::State& state) {
+  const Lattice& lattice = world().lattice;
+  const auto radius = static_cast<Hop>(state.range(0));
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for_each_in_ball(lattice, 1012, radius,
+                     [&](NodeId, Hop) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_ShellEnumeration)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PlacementGenerate(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Placement::generate(
+        2025, world().popularity, m,
+        PlacementMode::ProportionalWithReplacement, rng));
+  }
+}
+BENCHMARK(BM_PlacementGenerate)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_NearestByScan(benchmark::State& state) {
+  World& w = world();
+  Rng rng(4);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(w.lattice.size()));
+    const FileId j = static_cast<FileId>(rng.below(w.placement.num_files()));
+    benchmark::DoNotOptimize(w.index.nearest_by_scan(u, j, rng));
+  }
+}
+BENCHMARK(BM_NearestByScan);
+
+void BM_NearestByShells(benchmark::State& state) {
+  World& w = world();
+  Rng rng(5);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(w.lattice.size()));
+    const FileId j = static_cast<FileId>(rng.below(w.placement.num_files()));
+    benchmark::DoNotOptimize(w.index.nearest_by_shells(u, j, rng));
+  }
+}
+BENCHMARK(BM_NearestByShells);
+
+void BM_RadiusStream(benchmark::State& state) {
+  World& w = world();
+  Rng rng(6);
+  const auto radius = static_cast<Hop>(state.range(0));
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(w.lattice.size()));
+    const FileId j = static_cast<FileId>(rng.below(w.placement.num_files()));
+    std::size_t count = 0;
+    w.index.for_each_replica_within(u, j, radius,
+                                    [&](NodeId, Hop) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RadiusStream)->Arg(5)->Arg(10)->Arg(22);
+
+void BM_TwoChoiceAssign(benchmark::State& state) {
+  World& w = world();
+  TwoChoiceOptions options;
+  options.radius = static_cast<Hop>(state.range(0));
+  TwoChoiceStrategy strategy(w.index, options);
+  LoadTracker tracker(w.lattice.size());
+  Rng rng(7);
+  for (auto _ : state) {
+    Request request;
+    request.origin = static_cast<NodeId>(rng.below(w.lattice.size()));
+    request.file = static_cast<FileId>(rng.below(w.placement.num_files()));
+    if (w.placement.replica_count(request.file) == 0) continue;
+    const Assignment a = strategy.assign(request, tracker, rng);
+    tracker.assign(a.server, a.hops);
+  }
+}
+BENCHMARK(BM_TwoChoiceAssign)->Arg(10)->Arg(1 << 20);
+
+void BM_NearestReplicaAssign(benchmark::State& state) {
+  World& w = world();
+  NearestReplicaStrategy strategy(w.index);
+  LoadTracker tracker(w.lattice.size());
+  Rng rng(8);
+  for (auto _ : state) {
+    Request request;
+    request.origin = static_cast<NodeId>(rng.below(w.lattice.size()));
+    request.file = static_cast<FileId>(rng.below(w.placement.num_files()));
+    if (w.placement.replica_count(request.file) == 0) continue;
+    const Assignment a = strategy.assign(request, tracker, rng);
+    tracker.assign(a.server, a.hops);
+  }
+}
+BENCHMARK(BM_NearestReplicaAssign);
+
+void BM_VoronoiTessellation(benchmark::State& state) {
+  World& w = world();
+  const auto replicas = w.placement.replicas(0);
+  const std::vector<NodeId> centers(replicas.begin(), replicas.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VoronoiTessellation(w.lattice, centers));
+  }
+}
+BENCHMARK(BM_VoronoiTessellation);
+
+void BM_ConfigGraphBuild(benchmark::State& state) {
+  // Smaller instance: construction is O(sum |S_j|^2).
+  const Lattice lattice = Lattice::from_node_count(400, Wrap::Torus);
+  Rng rng(9);
+  const Placement placement = Placement::generate(
+      400, Popularity::uniform(400), 6,
+      PlacementMode::ProportionalWithReplacement, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_config_graph(lattice, placement, 5));
+  }
+}
+BENCHMARK(BM_ConfigGraphBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

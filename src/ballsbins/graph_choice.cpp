@@ -1,0 +1,75 @@
+#include "ballsbins/graph_choice.hpp"
+
+#include <algorithm>
+
+#include "random/alias_sampler.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache::ballsbins {
+
+namespace {
+
+GraphAllocationResult run_process(std::size_t num_vertices,
+                                  const EdgeList& edges, std::size_t balls,
+                                  Rng& rng, const AliasSampler* edge_sampler) {
+  PROXCACHE_REQUIRE(num_vertices >= 1, "need >= 1 vertex");
+  PROXCACHE_REQUIRE(!edges.empty(), "need >= 1 edge");
+  for (const auto& [a, b] : edges) {
+    PROXCACHE_REQUIRE(a < num_vertices && b < num_vertices,
+                      "edge endpoint out of range");
+  }
+  GraphAllocationResult result;
+  result.loads.assign(num_vertices, 0);
+  for (std::size_t i = 0; i < balls; ++i) {
+    const std::size_t e =
+        edge_sampler ? edge_sampler->sample(rng)
+                     : static_cast<std::size_t>(rng.below(edges.size()));
+    const auto [a, b] = edges[e];
+    std::uint32_t chosen;
+    if (result.loads[a] < result.loads[b]) {
+      chosen = a;
+    } else if (result.loads[b] < result.loads[a]) {
+      chosen = b;
+    } else {
+      chosen = rng.bernoulli(0.5) ? a : b;
+    }
+    result.max_load = std::max(result.max_load, ++result.loads[chosen]);
+  }
+  return result;
+}
+
+}  // namespace
+
+GraphAllocationResult graph_choice(std::size_t num_vertices,
+                                   const EdgeList& edges, std::size_t balls,
+                                   Rng& rng) {
+  return run_process(num_vertices, edges, balls, rng, nullptr);
+}
+
+GraphAllocationResult graph_choice_weighted(std::size_t num_vertices,
+                                            const EdgeList& edges,
+                                            const std::vector<double>& weights,
+                                            std::size_t balls, Rng& rng) {
+  PROXCACHE_REQUIRE(weights.size() == edges.size(),
+                    "one weight per edge required");
+  const AliasSampler sampler(weights);
+  return run_process(num_vertices, edges, balls, rng, &sampler);
+}
+
+EdgeList complete_graph_edges(std::uint32_t n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return edges;
+}
+
+EdgeList cycle_graph_edges(std::uint32_t n) {
+  EdgeList edges;
+  edges.reserve(n);
+  for (std::uint32_t a = 0; a < n; ++a) edges.emplace_back(a, (a + 1) % n);
+  return edges;
+}
+
+}  // namespace proxcache::ballsbins

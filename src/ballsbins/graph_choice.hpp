@@ -1,0 +1,52 @@
+#pragma once
+/// \file graph_choice.hpp
+/// Balanced allocation on graphs (Kenthapadi & Panigrahy, SODA'06) — the
+/// engine behind the paper's Theorem 5. Bins are graph vertices; each ball
+/// picks a random edge and joins the lesser-loaded endpoint. On sufficiently
+/// dense almost-regular graphs the maximum load is `Θ(log log n)`; on sparse
+/// graphs (e.g. a cycle) it degrades — exactly the dichotomy the paper maps
+/// onto cache networks via the configuration graph H.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "util/types.hpp"
+
+namespace proxcache::ballsbins {
+
+/// Undirected edge list; vertices are 0-based.
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Result of a graph allocation run.
+struct GraphAllocationResult {
+  std::vector<Load> loads;
+  Load max_load = 0;
+};
+
+/// Throw `balls` balls on the vertex set of `edges` (vertex count
+/// `num_vertices`): each ball picks a uniform random edge and joins the
+/// lesser-loaded endpoint (uniform tie break).
+GraphAllocationResult graph_choice(std::size_t num_vertices,
+                                   const EdgeList& edges, std::size_t balls,
+                                   Rng& rng);
+
+/// Same process but the ball's edge is drawn from the supplied non-negative
+/// weights (Theorem 5's generalization: "each edge is chosen with
+/// probability at most O(1/e(G))").
+GraphAllocationResult graph_choice_weighted(std::size_t num_vertices,
+                                            const EdgeList& edges,
+                                            const std::vector<double>& weights,
+                                            std::size_t balls, Rng& rng);
+
+/// Convenience: edge list of the complete graph K_n (for which the process
+/// coincides with the classical two-choice process up to the "distinct
+/// choices" detail). Quadratic size — intended for tests.
+EdgeList complete_graph_edges(std::uint32_t n);
+
+/// Convenience: edge list of the n-cycle (a sparse graph on which graph
+/// choice does *not* achieve log log n).
+EdgeList cycle_graph_edges(std::uint32_t n);
+
+}  // namespace proxcache::ballsbins

@@ -1,0 +1,78 @@
+#include "ballsbins/processes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace proxcache::ballsbins {
+
+std::uint64_t AllocationResult::total() const {
+  return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+AllocationResult one_choice(std::size_t bins, std::size_t balls, Rng& rng) {
+  PROXCACHE_REQUIRE(bins >= 1, "need >= 1 bin");
+  AllocationResult result;
+  result.loads.assign(bins, 0);
+  for (std::size_t i = 0; i < balls; ++i) {
+    const auto bin = static_cast<std::size_t>(rng.below(bins));
+    result.max_load = std::max(result.max_load, ++result.loads[bin]);
+  }
+  return result;
+}
+
+DChoiceAllocator::DChoiceAllocator(std::size_t bins, std::uint32_t d)
+    : loads_(bins, 0), d_(d) {
+  PROXCACHE_REQUIRE(bins >= 1, "need >= 1 bin");
+  PROXCACHE_REQUIRE(d >= 1 && d <= bins, "need 1 <= d <= bins");
+}
+
+std::size_t DChoiceAllocator::place(Rng& rng) {
+  // Draw d distinct bins by rejection (d is tiny; collisions are rare for
+  // d << bins and the loop always terminates since d <= bins).
+  std::size_t candidates[8];
+  const std::uint32_t d = std::min<std::uint32_t>(d_, 8);
+  std::uint32_t have = 0;
+  while (have < d) {
+    const auto bin = static_cast<std::size_t>(rng.below(loads_.size()));
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < have; ++i) {
+      if (candidates[i] == bin) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) candidates[have++] = bin;
+  }
+  // Least-loaded with uniform tie break via a single pass reservoir.
+  std::size_t chosen = candidates[0];
+  Load best = loads_[chosen];
+  std::uint32_t ties = 1;
+  for (std::uint32_t i = 1; i < have; ++i) {
+    const Load load = loads_[candidates[i]];
+    if (load < best) {
+      best = load;
+      chosen = candidates[i];
+      ties = 1;
+    } else if (load == best) {
+      ++ties;
+      if (rng.below(ties) == 0) chosen = candidates[i];
+    }
+  }
+  max_load_ = std::max(max_load_, ++loads_[chosen]);
+  return chosen;
+}
+
+AllocationResult d_choice(std::size_t bins, std::size_t balls, std::uint32_t d,
+                          Rng& rng) {
+  PROXCACHE_REQUIRE(d <= 8, "d-choice supports d <= 8");
+  DChoiceAllocator allocator(bins, d);
+  for (std::size_t i = 0; i < balls; ++i) allocator.place(rng);
+  AllocationResult result;
+  result.loads = allocator.loads();
+  result.max_load = allocator.max_load();
+  return result;
+}
+
+}  // namespace proxcache::ballsbins

@@ -1,0 +1,56 @@
+#pragma once
+/// \file processes.hpp
+/// Classical balls-into-bins allocation processes.
+///
+/// These are the theoretical baselines the paper builds on (§I, §IV
+/// examples): one-choice (uniform random bin) with `Θ(log n / log log n)`
+/// maximum load at `m = n`, and the Azar et al. d-choice process with
+/// `log log n / log d + Θ(1)` maximum load. The cache-network strategies
+/// reduce to these in the memoryless regimes (Example 1), which the
+/// integration tests exploit.
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "util/types.hpp"
+
+namespace proxcache::ballsbins {
+
+/// Outcome of an allocation process.
+struct AllocationResult {
+  std::vector<Load> loads;  ///< final per-bin load
+  Load max_load = 0;        ///< max element of `loads`
+
+  /// Total balls allocated (Σ loads).
+  [[nodiscard]] std::uint64_t total() const;
+};
+
+/// Allocate `balls` balls into `bins` bins, one uniform choice each.
+AllocationResult one_choice(std::size_t bins, std::size_t balls, Rng& rng);
+
+/// Azar et al. process: each ball draws `d >= 1` *distinct* uniform bins and
+/// joins the least loaded (uniform among ties). `d = 1` degenerates to
+/// one-choice; `d` must not exceed `bins`.
+AllocationResult d_choice(std::size_t bins, std::size_t balls, std::uint32_t d,
+                          Rng& rng);
+
+/// Incremental d-choice allocator for processes that interleave with other
+/// state (used by the queueing extension and tests).
+class DChoiceAllocator {
+ public:
+  DChoiceAllocator(std::size_t bins, std::uint32_t d);
+
+  /// Place one ball; returns the chosen bin.
+  std::size_t place(Rng& rng);
+
+  [[nodiscard]] const std::vector<Load>& loads() const { return loads_; }
+  [[nodiscard]] Load max_load() const { return max_load_; }
+
+ private:
+  std::vector<Load> loads_;
+  std::uint32_t d_;
+  Load max_load_ = 0;
+};
+
+}  // namespace proxcache::ballsbins

@@ -1,0 +1,43 @@
+#include "ballsbins/theory.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace proxcache::ballsbins {
+
+double two_choice_reference(std::size_t n, unsigned d) {
+  PROXCACHE_REQUIRE(n >= 3, "need n >= 3");
+  PROXCACHE_REQUIRE(d >= 2, "need d >= 2");
+  return std::log(std::log(static_cast<double>(n))) /
+         std::log(static_cast<double>(d));
+}
+
+double one_choice_reference(std::size_t n) {
+  PROXCACHE_REQUIRE(n >= 3, "need n >= 3");
+  const double ln = std::log(static_cast<double>(n));
+  return ln / std::log(ln);
+}
+
+double log_reference(std::size_t n) {
+  PROXCACHE_REQUIRE(n >= 2, "need n >= 2");
+  return std::log(static_cast<double>(n));
+}
+
+double kenthapadi_bound(std::size_t n, double delta) {
+  PROXCACHE_REQUIRE(n >= 3, "need n >= 3");
+  const double ln = std::log(static_cast<double>(n));
+  const double loglog = std::log(ln);
+  const double log4 = std::pow(ln, 4.0);
+  if (delta <= log4) return one_choice_reference(n);
+  return loglog + ln / std::log(delta / log4);
+}
+
+bool theorem4_regime_holds(std::size_t n, double alpha, double beta) {
+  PROXCACHE_REQUIRE(n >= 3, "need n >= 3");
+  const double ln = std::log(static_cast<double>(n));
+  return alpha + 2.0 * beta >= 1.0 + 2.0 * std::log(ln) / ln;
+}
+
+}  // namespace proxcache::ballsbins

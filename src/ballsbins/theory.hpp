@@ -1,0 +1,33 @@
+#pragma once
+/// \file theory.hpp
+/// Closed-form reference curves from the balls-into-bins literature, used by
+/// the benchmark harnesses to print "theory" columns next to measurements.
+/// All are leading-order asymptotics (the Θ constants are not pinned by the
+/// paper), so benches compare *shape* after normalizing at one point.
+
+#include <cstddef>
+
+namespace proxcache::ballsbins {
+
+/// `ln ln n / ln d` — the d-choice maximum load at m = n balls
+/// (Azar, Broder, Karlin & Upfal). Defined for n >= 3, d >= 2.
+double two_choice_reference(std::size_t n, unsigned d = 2);
+
+/// `ln n / ln ln n` — the one-choice maximum load at m = n balls, equal in
+/// order to the maximum of n i.i.d. Po(1) variables (paper §II, Example 2).
+double one_choice_reference(std::size_t n);
+
+/// `ln n` — the Strategy I maximum-load order of Theorem 1.
+double log_reference(std::size_t n);
+
+/// Theorem 5's bound for an almost Δ-regular graph:
+/// `Θ(log log n) + O(log n / log(Δ / log⁴ n))`. Returns the two terms'
+/// sum with unit constants; +inf collapses to one-choice order when
+/// Δ <= log⁴ n (the bound is vacuous there).
+double kenthapadi_bound(std::size_t n, double delta);
+
+/// The paper's Theorem 4 regime test: true iff
+/// `α + 2β >= 1 + 2·log log n / log n` (with K = n, M = n^α, r = n^β).
+bool theorem4_regime_holds(std::size_t n, double alpha, double beta);
+
+}  // namespace proxcache::ballsbins

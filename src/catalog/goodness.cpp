@@ -1,0 +1,78 @@
+#include "catalog/goodness.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+GoodnessReport distinct_only_report(const Placement& placement) {
+  GoodnessReport report;
+  const std::size_t n = placement.num_nodes();
+  report.min_distinct = placement.distinct_count(0);
+  report.max_distinct = report.min_distinct;
+  double total = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t t = placement.distinct_count(u);
+    report.min_distinct = std::min(report.min_distinct, t);
+    report.max_distinct = std::max(report.max_distinct, t);
+    total += static_cast<double>(t);
+  }
+  report.mean_distinct = total / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace
+
+std::vector<std::size_t> distinct_counts(const Placement& placement) {
+  std::vector<std::size_t> counts(placement.num_nodes());
+  for (NodeId u = 0; u < placement.num_nodes(); ++u) {
+    counts[u] = placement.distinct_count(u);
+  }
+  return counts;
+}
+
+GoodnessReport goodness_census(const Placement& placement) {
+  GoodnessReport report = distinct_only_report(placement);
+
+  // t(u, v) aggregated via replica lists: each file j contributes +1 to
+  // every pair of nodes in S_j.
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_overlap;
+  for (FileId j = 0; j < placement.num_files(); ++j) {
+    const auto list = placement.replicas(j);
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(list[a]) << 32) | list[b];
+        ++pair_overlap[key];
+      }
+    }
+  }
+  report.pairs_examined = pair_overlap.size();
+  for (const auto& [key, count] : pair_overlap) {
+    (void)key;
+    report.max_overlap =
+        std::max<std::size_t>(report.max_overlap, count);
+  }
+  return report;
+}
+
+GoodnessReport goodness_census_sampled(const Placement& placement,
+                                       std::size_t sample_pairs, Rng& rng) {
+  PROXCACHE_REQUIRE(placement.num_nodes() >= 2,
+                    "pair sampling needs >= 2 nodes");
+  GoodnessReport report = distinct_only_report(placement);
+  report.pairs_examined = sample_pairs;
+  for (std::size_t i = 0; i < sample_pairs; ++i) {
+    const auto [a, b] = rng.distinct_pair(placement.num_nodes());
+    report.max_overlap = std::max(
+        report.max_overlap, placement.overlap(static_cast<NodeId>(a),
+                                              static_cast<NodeId>(b)));
+  }
+  return report;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,51 @@
+#pragma once
+/// \file goodness.hpp
+/// The paper's "goodness" property of a placement (Definition 5, Lemma 2).
+///
+/// A placement is `(δ, µ)`-good when every node holds at least `δ·M`
+/// distinct files (`t(u) >= δM`) and every *pair* of nodes shares fewer than
+/// `µ` files (`t(u,v) < µ`). Lemma 2 proves proportional placement is good
+/// w.h.p. for `K = n`, `M = n^α`, `α < 1/2`; the goodness census here lets
+/// tests and the Lemma 3 bench verify that concretely.
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/placement.hpp"
+#include "random/rng.hpp"
+
+namespace proxcache {
+
+/// Census of the goodness statistics of a placement.
+struct GoodnessReport {
+  std::size_t min_distinct = 0;   ///< min_u t(u)
+  std::size_t max_distinct = 0;   ///< max_u t(u)
+  double mean_distinct = 0.0;     ///< avg_u t(u)
+  std::size_t max_overlap = 0;    ///< max_{u != v} t(u, v) over examined pairs
+  std::size_t pairs_examined = 0; ///< how many (u, v) pairs were inspected
+
+  /// Definition 5 check: `t(u) >= delta * M` for all u and
+  /// `t(u,v) < mu` for all examined pairs.
+  [[nodiscard]] bool is_good(double delta, std::size_t mu,
+                             std::size_t cache_size) const {
+    return static_cast<double>(min_distinct) >=
+               delta * static_cast<double>(cache_size) &&
+           max_overlap < mu;
+  }
+};
+
+/// Exhaustive goodness census. Pair statistics are computed exactly via the
+/// per-file replica lists in `O(Σ_j |S_j|²)`; callers should keep that below
+/// ~10^8 (fine for the paper's simulation sizes).
+GoodnessReport goodness_census(const Placement& placement);
+
+/// Monte-Carlo goodness census: overlap statistics over `sample_pairs`
+/// uniformly random node pairs (O(M) each). Distinct-count statistics are
+/// always exact.
+GoodnessReport goodness_census_sampled(const Placement& placement,
+                                       std::size_t sample_pairs, Rng& rng);
+
+/// The per-node distinct-count vector `t(·)` (exact).
+std::vector<std::size_t> distinct_counts(const Placement& placement);
+
+}  // namespace proxcache

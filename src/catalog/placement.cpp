@@ -1,0 +1,124 @@
+#include "catalog/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "random/alias_sampler.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+PlacementMode placement_mode_from_string(const std::string& name) {
+  if (name == "replacement") return PlacementMode::ProportionalWithReplacement;
+  if (name == "distinct") return PlacementMode::DistinctProportional;
+  throw std::invalid_argument("unknown placement mode '" + name +
+                              "' (expected 'replacement' or 'distinct')");
+}
+
+std::string to_string(PlacementMode mode) {
+  return mode == PlacementMode::ProportionalWithReplacement ? "replacement"
+                                                            : "distinct";
+}
+
+Placement Placement::generate(std::size_t num_nodes,
+                              const Popularity& popularity,
+                              std::size_t cache_size, PlacementMode mode,
+                              Rng& rng) {
+  PROXCACHE_REQUIRE(num_nodes >= 1, "placement needs >= 1 node");
+  PROXCACHE_REQUIRE(cache_size >= 1, "cache size must be >= 1");
+  const std::size_t num_files = popularity.num_files();
+  const AliasSampler sampler(popularity.pmf());
+
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(num_nodes + 1);
+  offsets.push_back(0);
+  std::vector<FileId> files;
+  files.reserve(num_nodes * std::min(cache_size, num_files));
+  std::vector<std::vector<NodeId>> replicas(num_files);
+
+  std::vector<FileId> scratch;
+  scratch.reserve(cache_size);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    scratch.clear();
+    if (mode == PlacementMode::ProportionalWithReplacement) {
+      for (std::size_t slot = 0; slot < cache_size; ++slot) {
+        scratch.push_back(sampler.sample(rng));
+      }
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+    } else {
+      if (cache_size >= num_files) {
+        for (FileId j = 0; j < num_files; ++j) scratch.push_back(j);
+      } else {
+        // Popularity-biased sampling without replacement via the
+        // Efraimidis–Spirakis one-pass method: key_i = u_i^(1/w_i), take
+        // the M largest keys. O(K log M) regardless of skew (a rejection
+        // loop would stall when M approaches K under heavy Zipf skew).
+        // Min-heap of (key, file) keeps the current top-M.
+        std::vector<std::pair<double, FileId>> heap;
+        heap.reserve(cache_size + 1);
+        for (FileId j = 0; j < num_files; ++j) {
+          const double w = popularity.pmf(j);
+          if (w <= 0.0) continue;
+          const double key = std::pow(rng.uniform(), 1.0 / w);
+          if (heap.size() < cache_size) {
+            heap.emplace_back(key, j);
+            std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+          } else if (key > heap.front().first) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+            heap.back() = {key, j};
+            std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+          }
+        }
+        for (const auto& [key, j] : heap) scratch.push_back(j);
+        std::sort(scratch.begin(), scratch.end());
+      }
+    }
+    for (const FileId j : scratch) {
+      files.push_back(j);
+      replicas[j].push_back(static_cast<NodeId>(u));
+    }
+    offsets.push_back(static_cast<std::uint32_t>(files.size()));
+  }
+  // Replica lists are already sorted (nodes appended in increasing order).
+  return Placement(std::move(offsets), std::move(files), std::move(replicas),
+                   cache_size, mode);
+}
+
+bool Placement::caches(NodeId u, FileId j) const {
+  const auto list = files_of(u);
+  return std::binary_search(list.begin(), list.end(), j);
+}
+
+std::size_t Placement::files_with_replicas() const {
+  std::size_t count = 0;
+  for (const auto& list : replicas_) {
+    if (!list.empty()) ++count;
+  }
+  return count;
+}
+
+std::size_t Placement::overlap(NodeId u, NodeId v) const {
+  const auto a = files_of(u);
+  const auto b = files_of(v);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,110 @@
+#pragma once
+/// \file placement.hpp
+/// Cache content placement (paper §II-B).
+///
+/// In the paper's placement phase each of the `n` servers independently
+/// caches `M` files drawn from the popularity law **with replacement**
+/// ("proportional placement"); duplicates occupy slots but only the distinct
+/// set matters for serving. This module materializes a placement as
+///
+///   * per-node sorted distinct file lists (CSR layout), and
+///   * per-file replica lists `S_j` (the nodes that cached file j),
+///
+/// which are the two access paths everything else (nearest-replica search,
+/// two-choice candidate sampling, configuration graph, goodness statistics)
+/// is built on. A distinct-sampling mode is kept as an ablation of the
+/// design decision called out in DESIGN.md.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "catalog/popularity.hpp"
+#include "random/rng.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// How the M cache slots of a node are filled.
+enum class PlacementMode : std::uint8_t {
+  /// Paper default: M i.i.d. draws from P, duplicates allowed
+  /// (so `t(u) = |distinct(u)| <= M`).
+  ProportionalWithReplacement,
+  /// Ablation: M *distinct* files per node, drawn popularity-biased without
+  /// replacement (all K files if `M >= K`).
+  DistinctProportional,
+};
+
+/// Parse "replacement" / "distinct"; throws std::invalid_argument.
+PlacementMode placement_mode_from_string(const std::string& name);
+
+/// Human-readable mode name.
+std::string to_string(PlacementMode mode);
+
+/// An immutable cache placement for `n` nodes over a `K`-file library.
+class Placement {
+ public:
+  /// Sample a placement for `num_nodes` servers with `cache_size` slots per
+  /// node. Deterministic given `rng` state.
+  static Placement generate(std::size_t num_nodes,
+                            const Popularity& popularity,
+                            std::size_t cache_size, PlacementMode mode,
+                            Rng& rng);
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return node_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_files() const { return replicas_.size(); }
+  [[nodiscard]] std::size_t cache_size() const { return cache_size_; }
+  [[nodiscard]] PlacementMode mode() const { return mode_; }
+
+  /// Sorted distinct files cached at node `u`.
+  [[nodiscard]] std::span<const FileId> files_of(NodeId u) const {
+    return {node_files_.data() + node_offsets_[u],
+            node_offsets_[u + 1] - node_offsets_[u]};
+  }
+
+  /// Number of distinct files cached at `u` (the paper's `t(u)`).
+  [[nodiscard]] std::size_t distinct_count(NodeId u) const {
+    return node_offsets_[u + 1] - node_offsets_[u];
+  }
+
+  /// True iff node `u` cached file `j` (binary search, O(log M)).
+  [[nodiscard]] bool caches(NodeId u, FileId j) const;
+
+  /// Sorted list of nodes that cached file `j` (the paper's `S_j`).
+  [[nodiscard]] std::span<const NodeId> replicas(FileId j) const {
+    return replicas_[j];
+  }
+
+  /// `|S_j|`.
+  [[nodiscard]] std::size_t replica_count(FileId j) const {
+    return replicas_[j].size();
+  }
+
+  /// Number of library files with at least one replica network-wide.
+  [[nodiscard]] std::size_t files_with_replicas() const;
+
+  /// Distinct-file overlap `t(u, v) = |T(u, v)|` between two nodes
+  /// (paper Definition 4/5); O(M) merge of the sorted lists.
+  [[nodiscard]] std::size_t overlap(NodeId u, NodeId v) const;
+
+ private:
+  Placement(std::vector<std::uint32_t> offsets, std::vector<FileId> files,
+            std::vector<std::vector<NodeId>> replicas, std::size_t cache_size,
+            PlacementMode mode)
+      : node_offsets_(std::move(offsets)),
+        node_files_(std::move(files)),
+        replicas_(std::move(replicas)),
+        cache_size_(cache_size),
+        mode_(mode) {}
+
+  std::vector<std::uint32_t> node_offsets_;  // CSR offsets, size n+1
+  std::vector<FileId> node_files_;           // concatenated sorted lists
+  std::vector<std::vector<NodeId>> replicas_;
+  std::size_t cache_size_;
+  PlacementMode mode_;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,40 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+void ExperimentConfig::validate() const {
+  PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
+                    "num_nodes must be a perfect square, got " +
+                        std::to_string(num_nodes));
+  PROXCACHE_REQUIRE(num_files >= 1, "num_files must be >= 1");
+  PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
+  PROXCACHE_REQUIRE(strategy.num_choices >= 1 && strategy.num_choices <= 8,
+                    "num_choices must be in [1, 8]");
+  if (popularity.kind == PopularityKind::Zipf) {
+    PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
+  }
+}
+
+std::string ExperimentConfig::describe() const {
+  std::ostringstream os;
+  os << "n=" << num_nodes << " K=" << num_files << " M=" << cache_size
+     << " " << to_string(wrap) << " "
+     << popularity.materialize(num_files).describe() << " ";
+  if (strategy.kind == StrategyKind::NearestReplica) {
+    os << "strategy=nearest";
+  } else {
+    os << "strategy=" << strategy.num_choices << "-choice r=";
+    if (strategy.radius == kUnboundedRadius) {
+      os << "inf";
+    } else {
+      os << strategy.radius;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace proxcache

@@ -1,0 +1,117 @@
+#pragma once
+/// \file config.hpp
+/// Declarative configuration of one cache-network experiment (paper §II).
+/// An `ExperimentConfig` pins every model knob — topology, library,
+/// popularity, placement, request volume, assignment strategy, and the
+/// policies that close the paper's model gaps (see DESIGN.md) — plus the
+/// root seed, so a run is a pure function of its config and run index.
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/placement.hpp"
+#include "catalog/popularity.hpp"
+#include "topology/lattice.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Which assignment strategy handles requests.
+enum class StrategyKind : std::uint8_t {
+  NearestReplica,  ///< paper Strategy I (Definition 2)
+  TwoChoice,       ///< paper Strategy II (Definition 3), generalized to d
+};
+
+/// What to do when a requested file has no replica anywhere (possible under
+/// i.i.d. placement; the paper's analysis conditions on cached files).
+enum class MissingFilePolicy : std::uint8_t {
+  Resample,  ///< redraw the request's file from P until cached (default)
+  Drop,      ///< discard the request (counted)
+  Strict,    ///< treat as an error (throw)
+};
+
+/// What Strategy II does when fewer than `num_choices` candidates exist
+/// within radius `r` (a single candidate is always used directly).
+enum class FallbackPolicy : std::uint8_t {
+  ExpandRadius,     ///< double r until candidates appear (default)
+  NearestReplica,   ///< fall back to Strategy I for this request
+  Drop,             ///< discard the request (counted)
+};
+
+/// Spatial distribution of request origins. The paper assumes uniform
+/// origins; the Hotspot extension concentrates a fraction of the demand in
+/// a disc, stressing the proximity constraint (servers near the hotspot
+/// are the only in-radius candidates).
+enum class OriginKind : std::uint8_t {
+  Uniform,  ///< paper model: origin uniform over the n servers
+  Hotspot,  ///< mixture: with prob `fraction`, uniform in B_radius(center)
+};
+
+/// Origin-distribution spec (materialized per run).
+struct OriginSpec {
+  OriginKind kind = OriginKind::Uniform;
+  /// Fraction of requests born inside the hotspot (Hotspot only).
+  double hotspot_fraction = 0.5;
+  /// Hotspot disc radius (Hotspot only).
+  Hop hotspot_radius = 5;
+};
+
+/// Popularity profile spec (materialized per run).
+struct PopularitySpec {
+  PopularityKind kind = PopularityKind::Uniform;
+  double gamma = 0.8;  ///< Zipf parameter; ignored for Uniform
+
+  [[nodiscard]] Popularity materialize(std::size_t num_files) const {
+    return kind == PopularityKind::Uniform
+               ? Popularity::uniform(num_files)
+               : Popularity::zipf(num_files, gamma);
+  }
+};
+
+/// Strategy knobs.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::TwoChoice;
+  /// Proximity radius `r` (Strategy II only); kUnboundedRadius = r = ∞.
+  Hop radius = kUnboundedRadius;
+  /// Number of candidate choices `d` (Strategy II only); paper uses 2.
+  std::uint32_t num_choices = 2;
+  /// Draw candidates with replacement (ablation; default without).
+  bool with_replacement = false;
+  FallbackPolicy fallback = FallbackPolicy::ExpandRadius;
+  /// Mitzenmacher's (1+β) process: with probability `beta` use the full
+  /// d-choice comparison, otherwise a single uniform candidate. β = 1 is
+  /// the paper's strategy; β < 1 models saving load-probe traffic.
+  double beta = 1.0;
+  /// Load-information staleness (paper §VI "periodic polling"): the
+  /// strategy compares loads from a snapshot refreshed every
+  /// `stale_batch` requests. 1 = always fresh (paper model).
+  std::uint32_t stale_batch = 1;
+};
+
+/// Full experiment description.
+struct ExperimentConfig {
+  std::size_t num_nodes = 2025;  ///< n; must be a perfect square
+  Wrap wrap = Wrap::Torus;
+  std::size_t num_files = 500;   ///< K
+  std::size_t cache_size = 10;   ///< M
+  PlacementMode placement_mode = PlacementMode::ProportionalWithReplacement;
+  PopularitySpec popularity;
+  OriginSpec origins;
+  /// Number of sequential requests; 0 means "n requests" (paper default).
+  std::size_t num_requests = 0;
+  MissingFilePolicy missing = MissingFilePolicy::Resample;
+  StrategyConfig strategy;
+  std::uint64_t seed = 0x5EED;
+
+  [[nodiscard]] std::size_t effective_requests() const {
+    return num_requests == 0 ? num_nodes : num_requests;
+  }
+
+  /// Throws std::invalid_argument when inconsistent (n not square, M < 1…).
+  void validate() const;
+
+  /// One-line description for logs/tables.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace proxcache

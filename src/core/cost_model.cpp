@@ -1,0 +1,53 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+double expected_nearest_distance(const Lattice& lattice, double q) {
+  PROXCACHE_REQUIRE(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+  const std::size_t n = lattice.size();
+  const NodeId origin =
+      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
+  const double log_miss = std::log1p(-std::min(q, 1.0 - 1e-15));
+  // P(no replica anywhere) — conditioning denominator.
+  const double p_empty = std::exp(static_cast<double>(n) * log_miss);
+  const double available = 1.0 - p_empty;
+  if (available <= 0.0) return 0.0;
+
+  double expected = 0.0;
+  std::size_t ball = 0;
+  for (Hop d = 0; d < lattice.diameter(); ++d) {
+    ball += lattice.shell_size(origin, d);
+    // P(D > d) unconditioned = (1-q)^{|B_d|}; condition on availability.
+    const double survivor =
+        std::exp(static_cast<double>(ball) * log_miss);
+    expected += (survivor - p_empty) / available;
+  }
+  return expected;
+}
+
+double nearest_cost_model(const Lattice& lattice,
+                          const Popularity& popularity,
+                          std::size_t cache_size) {
+  PROXCACHE_REQUIRE(cache_size >= 1, "cache size must be >= 1");
+  const auto n = static_cast<double>(lattice.size());
+  double weighted_cost = 0.0;
+  double weight = 0.0;
+  for (FileId j = 0; j < popularity.num_files(); ++j) {
+    const double p = popularity.pmf(j);
+    if (p <= 0.0) continue;
+    const double q =
+        1.0 - std::pow(1.0 - p, static_cast<double>(cache_size));
+    const double availability = 1.0 - std::exp(n * std::log1p(-q));
+    if (availability <= 0.0) continue;
+    weighted_cost += p * availability * expected_nearest_distance(lattice, q);
+    weight += p * availability;
+  }
+  PROXCACHE_REQUIRE(weight > 0.0, "no file is ever available");
+  return weighted_cost / weight;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,37 @@
+#pragma once
+/// \file cost_model.hpp
+/// Exact finite-network communication-cost model for Strategy I.
+///
+/// Under proportional placement each node caches file `j` independently
+/// with probability `q_j = 1 - (1 - p_j)^M`. The nearest-replica distance
+/// D_j from a uniform origin then has the exact survival function
+///
+///   P(D_j > d) = (1 - q_j)^{|B_d(u)|}           (torus: u-independent)
+///
+/// so `E[D_j | file j available] = Σ_d P(D_j > d | available)` is a closed
+/// form in the lattice's ball sizes. Combining files weighted by the
+/// Resample policy (mass of absent files is redistributed over available
+/// ones) gives a cost prediction that matches simulation within Monte-Carlo
+/// noise at *all* popularity skews — unlike the asymptotic Eq. 13–14
+/// references, which ignore finite-n saturation. Used by the Figure 2 and
+/// Theorem 3 benches.
+
+#include "catalog/popularity.hpp"
+#include "topology/lattice.hpp"
+
+namespace proxcache {
+
+/// Exact `E[D | at least one replica exists]` for per-node caching
+/// probability `q` in (0, 1]. O(diameter) per call (ball sizes are
+/// evaluated from a fixed origin; exact on the torus, a center-node
+/// approximation on the bounded grid).
+double expected_nearest_distance(const Lattice& lattice, double q);
+
+/// Exact Strategy I communication cost model under the Resample
+/// missing-file policy: availability-weighted mixture of
+/// `expected_nearest_distance` over the library.
+double nearest_cost_model(const Lattice& lattice,
+                          const Popularity& popularity,
+                          std::size_t cache_size);
+
+}  // namespace proxcache

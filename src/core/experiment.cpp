@@ -1,0 +1,56 @@
+#include "core/experiment.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+ExperimentResult aggregate(const std::vector<RunResult>& results) {
+  ExperimentResult aggregate;
+  aggregate.runs = results.size();
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_fallbacks = 0;
+  std::uint64_t total_resampled = 0;
+  std::uint64_t total_dropped = 0;
+  for (const RunResult& run : results) {
+    aggregate.max_load.add(static_cast<double>(run.max_load));
+    aggregate.comm_cost.add(run.comm_cost);
+    aggregate.pooled_load_histogram.merge(run.load_histogram);
+    total_requests += run.requests;
+    total_fallbacks += run.fallbacks;
+    total_resampled += run.resampled;
+    total_dropped += run.dropped;
+  }
+  if (total_requests > 0) {
+    const auto denom = static_cast<double>(total_requests);
+    aggregate.fallback_rate = static_cast<double>(total_fallbacks) / denom;
+    aggregate.resample_rate = static_cast<double>(total_resampled) / denom;
+    aggregate.drop_rate = static_cast<double>(total_dropped) / denom;
+  }
+  return aggregate;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::size_t runs, ThreadPool* pool) {
+  PROXCACHE_REQUIRE(runs >= 1, "need >= 1 replication");
+  config.validate();
+
+  std::vector<RunResult> results;
+  if (pool == nullptr || pool->size() == 1) {
+    results.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+      results.push_back(run_simulation(config, i));
+    }
+  } else {
+    results = parallel_map(*pool, runs, [&config](std::size_t i) {
+      return run_simulation(config, i);
+    });
+  }
+  return aggregate(results);
+}
+
+}  // namespace proxcache

@@ -1,0 +1,35 @@
+#pragma once
+/// \file experiment.hpp
+/// Monte-Carlo experiment runner: independent replications of one
+/// configuration, executed on a thread pool, aggregated into summary
+/// statistics. Results are deterministic in (config.seed, runs) and
+/// independent of thread count — each replication derives its own seed.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace proxcache {
+
+/// Aggregated metrics over replications.
+struct ExperimentResult {
+  Summary max_load;        ///< distribution of L across runs
+  Summary comm_cost;       ///< distribution of C across runs
+  double fallback_rate = 0.0;  ///< fallbacks per served request (pooled)
+  double resample_rate = 0.0;  ///< trace repairs per request (pooled)
+  double drop_rate = 0.0;      ///< drops per request (pooled)
+  Histogram pooled_load_histogram;  ///< merged server-load histogram
+  std::size_t runs = 0;
+};
+
+/// Run `runs` independent replications of `config` on `pool` (sequentially
+/// when `pool` is nullptr).
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::size_t runs,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace proxcache

@@ -1,0 +1,31 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+LoadTracker::LoadTracker(std::size_t num_nodes) : loads_(num_nodes, 0) {
+  PROXCACHE_REQUIRE(num_nodes >= 1, "tracker needs >= 1 node");
+}
+
+void LoadTracker::assign(NodeId server, Hop hops) {
+  PROXCACHE_REQUIRE(server < loads_.size(), "server id out of range");
+  max_load_ = std::max(max_load_, ++loads_[server]);
+  ++assigned_;
+  total_hops_ += hops;
+}
+
+double LoadTracker::comm_cost() const {
+  if (assigned_ == 0) return 0.0;
+  return static_cast<double>(total_hops_) / static_cast<double>(assigned_);
+}
+
+Histogram LoadTracker::load_histogram() const {
+  Histogram histogram;
+  for (const Load load : loads_) histogram.add(load);
+  return histogram;
+}
+
+}  // namespace proxcache

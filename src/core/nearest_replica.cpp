@@ -1,0 +1,21 @@
+#include "core/nearest_replica.hpp"
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+Assignment NearestReplicaStrategy::assign(const Request& request,
+                                          const LoadView& loads, Rng& rng) {
+  (void)loads;  // Strategy I is load-oblivious by definition.
+  const NearestResult nearest = index_->nearest(request.origin, request.file,
+                                                rng);
+  PROXCACHE_CHECK(nearest.server != kInvalidNode,
+                  "request for uncached file reached the strategy; "
+                  "sanitize_trace must run first");
+  Assignment assignment;
+  assignment.server = nearest.server;
+  assignment.hops = nearest.distance;
+  return assignment;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,27 @@
+#pragma once
+/// \file nearest_replica.hpp
+/// Strategy I (paper Definition 2): every request is served by the nearest
+/// node — in lattice hop distance — that cached the requested file, with
+/// uniform tie breaking. Minimum possible communication cost; load-oblivious
+/// (max load grows as Θ(log n) / Ω(log n / log log n), Theorems 1–2).
+
+#include "core/strategy.hpp"
+#include "spatial/replica_index.hpp"
+
+namespace proxcache {
+
+/// Strategy I. Holds a reference to the query index (which must outlive it).
+class NearestReplicaStrategy final : public Strategy {
+ public:
+  explicit NearestReplicaStrategy(const ReplicaIndex& index) : index_(&index) {}
+
+  Assignment assign(const Request& request, const LoadView& loads,
+                    Rng& rng) override;
+
+  [[nodiscard]] std::string name() const override { return "nearest-replica"; }
+
+ private:
+  const ReplicaIndex* index_;
+};
+
+}  // namespace proxcache

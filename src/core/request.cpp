@@ -1,0 +1,107 @@
+#include "core/request.hpp"
+
+#include <stdexcept>
+
+#include "random/alias_sampler.hpp"
+#include "topology/shells.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+std::vector<Request> generate_trace(std::size_t num_nodes,
+                                    const Popularity& popularity,
+                                    std::size_t count, Rng& rng) {
+  PROXCACHE_REQUIRE(num_nodes >= 1, "need >= 1 node");
+  const AliasSampler sampler(popularity.pmf());
+  std::vector<Request> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Request request;
+    request.origin = static_cast<NodeId>(rng.below(num_nodes));
+    request.file = sampler.sample(rng);
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+std::vector<Request> generate_trace(const Lattice& lattice,
+                                    const OriginSpec& origins,
+                                    const Popularity& popularity,
+                                    std::size_t count, Rng& rng) {
+  if (origins.kind == OriginKind::Uniform) {
+    return generate_trace(lattice.size(), popularity, count, rng);
+  }
+  PROXCACHE_REQUIRE(
+      origins.hotspot_fraction >= 0.0 && origins.hotspot_fraction <= 1.0,
+      "hotspot fraction must be in [0, 1]");
+  const NodeId center =
+      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
+  const std::vector<NodeId> disc =
+      collect_ball(lattice, center, origins.hotspot_radius);
+  const AliasSampler sampler(popularity.pmf());
+  std::vector<Request> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Request request;
+    if (rng.bernoulli(origins.hotspot_fraction)) {
+      request.origin = disc[rng.below(disc.size())];
+    } else {
+      request.origin = static_cast<NodeId>(rng.below(lattice.size()));
+    }
+    request.file = sampler.sample(rng);
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+SanitizeStats sanitize_trace(std::vector<Request>& trace,
+                             const Placement& placement,
+                             const Popularity& popularity,
+                             MissingFilePolicy policy, Rng& rng) {
+  SanitizeStats stats;
+  const auto is_cached = [&](FileId j) {
+    return placement.replica_count(j) > 0;
+  };
+
+  if (policy == MissingFilePolicy::Strict) {
+    for (const Request& request : trace) {
+      if (!is_cached(request.file)) {
+        throw std::runtime_error(
+            "request for uncached file " + std::to_string(request.file) +
+            " under Strict missing-file policy");
+      }
+    }
+    return stats;
+  }
+
+  if (policy == MissingFilePolicy::Drop) {
+    std::vector<Request> kept;
+    kept.reserve(trace.size());
+    for (const Request& request : trace) {
+      if (is_cached(request.file)) {
+        kept.push_back(request);
+      } else {
+        ++stats.dropped;
+      }
+    }
+    trace = std::move(kept);
+    return stats;
+  }
+
+  // Resample: redraw offending files from P restricted to cached files via
+  // rejection. Guard against the empty-support pathology first.
+  bool any_cached = placement.files_with_replicas() > 0;
+  const AliasSampler sampler(popularity.pmf());
+  for (Request& request : trace) {
+    if (is_cached(request.file)) continue;
+    PROXCACHE_REQUIRE(any_cached,
+                      "no file has any replica; cannot resample trace");
+    ++stats.resampled;
+    do {
+      request.file = sampler.sample(rng);
+    } while (!is_cached(request.file));
+  }
+  return stats;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,57 @@
+#pragma once
+/// \file request.hpp
+/// Request traces (paper §II-B): `m` sequential requests, each with an
+/// origin server chosen uniformly at random and a file drawn from the
+/// popularity law. `sanitize` closes the uncached-file gap per the
+/// configured MissingFilePolicy.
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/placement.hpp"
+#include "catalog/popularity.hpp"
+#include "core/config.hpp"
+#include "random/rng.hpp"
+#include "topology/lattice.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// One content request.
+struct Request {
+  NodeId origin = 0;
+  FileId file = 0;
+};
+
+/// Outcome of trace sanitization.
+struct SanitizeStats {
+  std::uint64_t resampled = 0;  ///< requests whose file was redrawn
+  std::uint64_t dropped = 0;    ///< requests removed (Drop policy)
+};
+
+/// Generate `count` requests: origins uniform over `num_nodes`, files i.i.d.
+/// from `popularity` (the paper's model).
+std::vector<Request> generate_trace(std::size_t num_nodes,
+                                    const Popularity& popularity,
+                                    std::size_t count, Rng& rng);
+
+/// Generate `count` requests with a configurable origin distribution (the
+/// Hotspot extension places `hotspot_fraction` of origins uniformly inside
+/// `B_radius(center)` around the lattice center). Files i.i.d. from
+/// `popularity`.
+std::vector<Request> generate_trace(const Lattice& lattice,
+                                    const OriginSpec& origins,
+                                    const Popularity& popularity,
+                                    std::size_t count, Rng& rng);
+
+/// Enforce that every request's file has >= 1 replica under `placement`,
+/// per `policy`. Resample redraws the file from `popularity` (rejection
+/// sampling over the cached subset); Drop erases offending requests; Strict
+/// throws std::runtime_error on the first offender. Throws if no file has
+/// any replica while offenders exist.
+SanitizeStats sanitize_trace(std::vector<Request>& trace,
+                             const Placement& placement,
+                             const Popularity& popularity,
+                             MissingFilePolicy policy, Rng& rng);
+
+}  // namespace proxcache

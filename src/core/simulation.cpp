@@ -1,0 +1,93 @@
+#include "core/simulation.hpp"
+
+#include <memory>
+
+#include "core/metrics.hpp"
+#include "core/nearest_replica.hpp"
+#include "core/request.hpp"
+#include "core/stale_view.hpp"
+#include "core/two_choice.hpp"
+#include "random/seeding.hpp"
+#include "spatial/replica_index.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+RunResult run_simulation(const ExperimentConfig& config,
+                         std::uint64_t run_index) {
+  config.validate();
+
+  const Lattice lattice = Lattice::from_node_count(config.num_nodes,
+                                                   config.wrap);
+  const Popularity popularity =
+      config.popularity.materialize(config.num_files);
+
+  Rng placement_rng(
+      derive_seed(config.seed, {run_index, seed_phase::kPlacement}));
+  const Placement placement =
+      Placement::generate(config.num_nodes, popularity, config.cache_size,
+                          config.placement_mode, placement_rng);
+
+  Rng trace_rng(derive_seed(config.seed, {run_index, seed_phase::kTrace}));
+  std::vector<Request> trace =
+      generate_trace(lattice, config.origins, popularity,
+                     config.effective_requests(), trace_rng);
+  const SanitizeStats sanitize =
+      sanitize_trace(trace, placement, popularity, config.missing, trace_rng);
+
+  const ReplicaIndex index(lattice, placement);
+  std::unique_ptr<Strategy> strategy;
+  if (config.strategy.kind == StrategyKind::NearestReplica) {
+    strategy = std::make_unique<NearestReplicaStrategy>(index);
+  } else {
+    TwoChoiceOptions options;
+    options.radius = config.strategy.radius;
+    options.num_choices = config.strategy.num_choices;
+    options.with_replacement = config.strategy.with_replacement;
+    options.fallback = config.strategy.fallback;
+    options.beta = config.strategy.beta;
+    strategy = std::make_unique<TwoChoiceStrategy>(index, options);
+  }
+
+  Rng strategy_rng(
+      derive_seed(config.seed, {run_index, seed_phase::kStrategy}));
+  LoadTracker tracker(config.num_nodes);
+  // Stale-information model (§VI): the strategy compares loads from a
+  // periodically refreshed snapshot instead of the live tracker.
+  std::unique_ptr<StaleLoadView> stale;
+  if (config.strategy.stale_batch > 1) {
+    stale = std::make_unique<StaleLoadView>(tracker,
+                                            config.strategy.stale_batch);
+  }
+  const LoadView& load_view = stale ? static_cast<const LoadView&>(*stale)
+                                    : static_cast<const LoadView&>(tracker);
+  for (const Request& request : trace) {
+    const Assignment assignment =
+        strategy->assign(request, load_view, strategy_rng);
+    if (assignment.fallback) tracker.note_fallback();
+    if (assignment.server == kInvalidNode) {
+      tracker.drop();
+      continue;
+    }
+    tracker.assign(assignment.server, assignment.hops);
+    if (stale) stale->on_assignment(tracker.assigned());
+  }
+
+  RunResult result;
+  result.max_load = tracker.max_load();
+  result.comm_cost = tracker.comm_cost();
+  result.requests = tracker.assigned();
+  result.fallbacks = tracker.fallbacks();
+  result.resampled = sanitize.resampled;
+  result.dropped = sanitize.dropped + tracker.dropped();
+  result.load_histogram = tracker.load_histogram();
+  result.placement_min_distinct = placement.distinct_count(0);
+  for (NodeId u = 0; u < placement.num_nodes(); ++u) {
+    result.placement_min_distinct =
+        std::min(result.placement_min_distinct, placement.distinct_count(u));
+  }
+  result.files_with_replicas = placement.files_with_replicas();
+  return result;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,34 @@
+#pragma once
+/// \file simulation.hpp
+/// One complete simulated time block (paper §II-B): cache placement →
+/// request trace → sequential assignment → metrics. A run is a pure
+/// function of (config, run_index): all randomness derives from
+/// `derive_seed(config.seed, {run_index, phase})`.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "stats/histogram.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Metrics of one simulation run.
+struct RunResult {
+  Load max_load = 0;           ///< L = max_i T_i
+  double comm_cost = 0.0;      ///< C = mean hops per served request
+  std::uint64_t requests = 0;  ///< served requests
+  std::uint64_t fallbacks = 0; ///< Strategy II fallback events
+  std::uint64_t resampled = 0; ///< trace repairs (missing-file policy)
+  std::uint64_t dropped = 0;   ///< dropped requests (Drop policies)
+  Histogram load_histogram;    ///< #servers with load = k
+  /// Placement-side observables (cheap; always collected).
+  std::size_t placement_min_distinct = 0;  ///< min_u t(u)
+  std::size_t files_with_replicas = 0;
+};
+
+/// Execute one run of the configured experiment.
+RunResult run_simulation(const ExperimentConfig& config,
+                         std::uint64_t run_index);
+
+}  // namespace proxcache

@@ -1,0 +1,37 @@
+#pragma once
+/// \file strategy.hpp
+/// The assignment-strategy interface: given the next request and the
+/// current loads, pick the serving node (paper §II-B "assignment strategy").
+
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/request.hpp"
+#include "random/rng.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// A single assignment decision.
+struct Assignment {
+  NodeId server = kInvalidNode;  ///< chosen server; invalid = dropped
+  Hop hops = 0;                  ///< requester→server distance (charged to C)
+  bool fallback = false;         ///< a fallback path was taken
+};
+
+/// Sequential request-to-server mapper. Implementations must be
+/// deterministic given the Rng stream and may read (never write) the
+/// tracker's current loads.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Decide where `request` is served.
+  virtual Assignment assign(const Request& request, const LoadView& loads,
+                            Rng& rng) = 0;
+
+  /// Short identifier for logs/tables, e.g. "nearest" or "two-choice(r=16)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,79 @@
+#include "graph/compact_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+CompactGraph CompactGraph::from_edges(
+    std::uint32_t num_vertices,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  // Canonicalize: drop self loops, orient u < v, dedupe.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> canonical;
+  canonical.reserve(edges.size());
+  for (auto [a, b] : edges) {
+    PROXCACHE_REQUIRE(a < num_vertices && b < num_vertices,
+                      "edge endpoint out of range");
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    canonical.emplace_back(a, b);
+  }
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+
+  CompactGraph graph;
+  graph.edges_ = std::move(canonical);
+  std::vector<std::size_t> degree(num_vertices, 0);
+  for (const auto& [a, b] : graph.edges_) {
+    ++degree[a];
+    ++degree[b];
+  }
+  graph.offsets_.assign(num_vertices + 1, 0);
+  for (std::uint32_t u = 0; u < num_vertices; ++u) {
+    graph.offsets_[u + 1] = graph.offsets_[u] + degree[u];
+  }
+  graph.adjacency_.resize(graph.offsets_.back());
+  std::vector<std::size_t> cursor(graph.offsets_.begin(),
+                                  graph.offsets_.end() - 1);
+  for (const auto& [a, b] : graph.edges_) {
+    graph.adjacency_[cursor[a]++] = b;
+    graph.adjacency_[cursor[b]++] = a;
+  }
+  for (std::uint32_t u = 0; u < num_vertices; ++u) {
+    std::sort(graph.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(graph.offsets_[u]),
+              graph.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(graph.offsets_[u + 1]));
+  }
+  return graph;
+}
+
+bool CompactGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto list = neighbors(u);
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+DegreeStats CompactGraph::degree_stats() const {
+  DegreeStats stats;
+  const std::uint32_t n = num_vertices();
+  if (n == 0) return stats;
+  stats.min_degree = std::numeric_limits<std::size_t>::max();
+  double total = 0.0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const std::size_t d = degree(u);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    total += static_cast<double>(d);
+  }
+  stats.mean_degree = total / static_cast<double>(n);
+  stats.ratio = stats.min_degree == 0
+                    ? std::numeric_limits<double>::infinity()
+                    : static_cast<double>(stats.max_degree) /
+                          static_cast<double>(stats.min_degree);
+  return stats;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,65 @@
+#pragma once
+/// \file compact_graph.hpp
+/// Compact immutable undirected graph (CSR adjacency + edge list), the
+/// representation used for the paper's configuration graph H and for the
+/// Kenthapadi–Panigrahy allocation process.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace proxcache {
+
+/// Degree summary of a graph; `ratio` = max/min (∞ if min == 0) quantifies
+/// the "almost Δ-regular" property of the paper's Lemma 3.
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  double ratio = 0.0;
+};
+
+/// Immutable simple undirected graph.
+class CompactGraph {
+ public:
+  /// Build from an edge list; parallel edges and self-loops are removed.
+  static CompactGraph from_edges(
+      std::uint32_t num_vertices,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  [[nodiscard]] std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] std::size_t degree(std::uint32_t u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Sorted neighbor list of `u`.
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t u) const {
+    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Deduplicated canonical edge list (u < v), sorted lexicographically.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+  edges() const {
+    return edges_;
+  }
+
+  /// True iff {u, v} is an edge (binary search).
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// Degree summary.
+  [[nodiscard]] DegreeStats degree_stats() const;
+
+ private:
+  CompactGraph() = default;
+
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> adjacency_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+}  // namespace proxcache

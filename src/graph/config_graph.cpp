@@ -1,0 +1,43 @@
+#include "graph/config_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+CompactGraph build_config_graph(const Lattice& lattice,
+                                const Placement& placement, Hop r) {
+  PROXCACHE_REQUIRE(lattice.size() == placement.num_nodes(),
+                    "lattice and placement disagree on node count");
+  const bool unbounded = r >= lattice.diameter();
+  const Hop reach =
+      unbounded ? lattice.diameter()
+                : static_cast<Hop>(std::min<std::uint64_t>(
+                      2ull * r, lattice.diameter()));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (FileId j = 0; j < placement.num_files(); ++j) {
+    const auto list = placement.replicas(j);
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        if (unbounded || lattice.distance(list[a], list[b]) <= reach) {
+          edges.emplace_back(list[a], list[b]);
+        }
+      }
+    }
+  }
+  return CompactGraph::from_edges(
+      static_cast<std::uint32_t>(placement.num_nodes()), std::move(edges));
+}
+
+double predicted_config_degree(const Lattice& lattice, std::size_t cache_size,
+                               std::size_t num_files, Hop r) {
+  const double m = static_cast<double>(cache_size);
+  const double k = static_cast<double>(num_files);
+  const double reach = static_cast<double>(
+      std::min<std::uint64_t>(2ull * r, lattice.diameter()));
+  return m * m * reach * reach / k;
+}
+
+}  // namespace proxcache

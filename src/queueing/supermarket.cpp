@@ -1,0 +1,190 @@
+#include "queueing/supermarket.hpp"
+
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/nearest_replica.hpp"
+#include "core/request.hpp"
+#include "core/two_choice.hpp"
+#include "random/alias_sampler.hpp"
+#include "random/seeding.hpp"
+#include "spatial/replica_index.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+/// Instantaneous queue lengths, exposed to the strategies through the
+/// LoadView interface so join-the-shorter-queue reuses the exact same
+/// candidate-sampling code as the batch simulator.
+class QueueState final : public LoadView {
+ public:
+  explicit QueueState(std::size_t n) : lengths_(n, 0) {}
+
+  [[nodiscard]] Load load(NodeId u) const override { return lengths_[u]; }
+  [[nodiscard]] Load length(NodeId u) const { return lengths_[u]; }
+
+  void push(NodeId u) { ++lengths_[u]; }
+  void pop(NodeId u) {
+    PROXCACHE_CHECK(lengths_[u] > 0, "pop from empty queue");
+    --lengths_[u];
+  }
+
+ private:
+  std::vector<Load> lengths_;
+};
+
+struct Event {
+  double time;
+  enum class Kind : std::uint8_t { Arrival, Departure } kind;
+  NodeId server;  // departures only
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+double exponential(Rng& rng, double rate) {
+  // Inverse CDF; uniform() < 1 so log argument is in (0, 1].
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+QueueingResult run_supermarket(const QueueingConfig& config,
+                               std::uint64_t seed) {
+  config.network.validate();
+  PROXCACHE_REQUIRE(config.arrival_rate > 0.0, "arrival rate must be > 0");
+  PROXCACHE_REQUIRE(config.service_rate > 0.0, "service rate must be > 0");
+  PROXCACHE_REQUIRE(config.horizon > 0.0, "horizon must be > 0");
+  PROXCACHE_REQUIRE(
+      config.warmup_fraction >= 0.0 && config.warmup_fraction < 1.0,
+      "warmup fraction must be in [0, 1)");
+
+  const auto& net = config.network;
+  const Lattice lattice = Lattice::from_node_count(net.num_nodes, net.wrap);
+  const Popularity popularity = net.popularity.materialize(net.num_files);
+
+  Rng placement_rng(derive_seed(seed, {0, seed_phase::kPlacement}));
+  const Placement placement = Placement::generate(
+      net.num_nodes, popularity, net.cache_size, net.placement_mode,
+      placement_rng);
+  const ReplicaIndex index(lattice, placement);
+
+  std::unique_ptr<Strategy> strategy;
+  if (net.strategy.kind == StrategyKind::NearestReplica) {
+    strategy = std::make_unique<NearestReplicaStrategy>(index);
+  } else {
+    TwoChoiceOptions options;
+    options.radius = net.strategy.radius;
+    options.num_choices = net.strategy.num_choices;
+    options.with_replacement = net.strategy.with_replacement;
+    options.fallback = net.strategy.fallback;
+    strategy = std::make_unique<TwoChoiceStrategy>(index, options);
+  }
+
+  Rng rng(derive_seed(seed, {0, seed_phase::kQueueing}));
+  const AliasSampler file_sampler(popularity.pmf());
+
+  const std::size_t n = net.num_nodes;
+  const double aggregate_rate = config.arrival_rate * static_cast<double>(n);
+  const double warmup = config.horizon * config.warmup_fraction;
+
+  QueueState queues(n);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  events.push({exponential(rng, aggregate_rate), Event::Kind::Arrival, 0});
+
+  std::vector<std::queue<double>> admission_times(n);  // FIFO per server
+  double total_sojourn = 0.0;
+  std::uint64_t completed = 0;
+  double queue_integral = 0.0;   // ∫ Σ_u q_u(t) dt after warmup
+  double busy_integral = 0.0;    // ∫ #busy(t) dt after warmup
+  double last_time = 0.0;
+  Load max_queue = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t busy_servers = 0;
+  std::uint64_t total_queued = 0;
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    if (event.time > config.horizon) break;
+
+    // Accumulate time-weighted statistics for the elapsed interval.
+    if (event.time > warmup) {
+      const double from = std::max(last_time, warmup);
+      const double dt = event.time - from;
+      queue_integral += dt * static_cast<double>(total_queued);
+      busy_integral += dt * static_cast<double>(busy_servers);
+    }
+    last_time = event.time;
+
+    if (event.kind == Event::Kind::Arrival) {
+      // Schedule the next arrival first (Poisson process).
+      events.push({event.time + exponential(rng, aggregate_rate),
+                   Event::Kind::Arrival, 0});
+
+      Request request;
+      request.origin = static_cast<NodeId>(rng.below(n));
+      request.file = file_sampler.sample(rng);
+      if (placement.replica_count(request.file) == 0) {
+        continue;  // uncached file: lost arrival (counted nowhere; rare)
+      }
+      Assignment assignment = strategy->assign(request, queues, rng);
+      if (assignment.server == kInvalidNode) continue;
+
+      const NodeId server = assignment.server;
+      if (queues.length(server) == 0) ++busy_servers;
+      queues.push(server);
+      ++total_queued;
+      max_queue = std::max(max_queue, queues.length(server));
+      admission_times[server].push(event.time);
+      ++admitted;
+      total_hops += assignment.hops;
+      if (queues.length(server) == 1) {
+        events.push({event.time + exponential(rng, config.service_rate),
+                     Event::Kind::Departure, server});
+      }
+    } else {
+      const NodeId server = event.server;
+      queues.pop(server);
+      --total_queued;
+      const double admitted_at = admission_times[server].front();
+      admission_times[server].pop();
+      if (event.time > warmup) {
+        total_sojourn += event.time - admitted_at;
+        ++completed;
+      }
+      if (queues.length(server) > 0) {
+        events.push({event.time + exponential(rng, config.service_rate),
+                     Event::Kind::Departure, server});
+      } else {
+        --busy_servers;
+      }
+    }
+  }
+
+  QueueingResult result;
+  const double measured = config.horizon - warmup;
+  result.completed = completed;
+  result.max_queue = max_queue;
+  if (completed > 0) {
+    result.mean_sojourn = total_sojourn / static_cast<double>(completed);
+  }
+  if (measured > 0.0) {
+    result.mean_queue =
+        queue_integral / measured / static_cast<double>(n);
+    result.utilization =
+        busy_integral / measured / static_cast<double>(n);
+  }
+  if (admitted > 0) {
+    result.mean_hops =
+        static_cast<double>(total_hops) / static_cast<double>(admitted);
+  }
+  return result;
+}
+
+}  // namespace proxcache

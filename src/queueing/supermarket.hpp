@@ -1,0 +1,46 @@
+#pragma once
+/// \file supermarket.hpp
+/// Continuous-time queueing extension (paper §VI): the authors conjecture
+/// that the proximity-aware two-choice scheme keeps its balance properties
+/// in the "supermarket model" — Poisson request arrivals, exponential
+/// service, join-the-shorter-queue among the sampled candidates. This
+/// event-driven simulator tests that conjecture (and the nearest-replica
+/// counterpart) on the same cache-network substrate.
+///
+/// Model: aggregate arrivals are Poisson with rate `n·λ`; each arrival picks
+/// a uniform origin and a popularity-distributed file, the strategy picks a
+/// serving node (comparing *queue lengths* instead of cumulative loads), and
+/// the serving node processes jobs FIFO at rate `μ`. Stable for λ < μ.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Queueing experiment description, layered on ExperimentConfig's network
+/// model (num_requests is ignored; time drives the run instead).
+struct QueueingConfig {
+  ExperimentConfig network;      ///< topology/library/placement/strategy
+  double arrival_rate = 0.7;     ///< λ, per node per unit time
+  double service_rate = 1.0;     ///< μ, per server
+  double horizon = 200.0;        ///< simulated time units
+  double warmup_fraction = 0.25; ///< fraction of horizon discarded
+};
+
+/// Steady-state estimates from one queueing run.
+struct QueueingResult {
+  double mean_sojourn = 0.0;    ///< mean time in system of completed jobs
+  double mean_queue = 0.0;      ///< time-average queue length per server
+  Load max_queue = 0;           ///< max instantaneous queue length observed
+  std::uint64_t completed = 0;  ///< jobs completed after warmup
+  double mean_hops = 0.0;       ///< communication cost of admitted jobs
+  double utilization = 0.0;     ///< busy-time fraction per server
+};
+
+/// Run the event-driven simulation. Deterministic in (config, seed).
+QueueingResult run_supermarket(const QueueingConfig& config,
+                               std::uint64_t seed);
+
+}  // namespace proxcache

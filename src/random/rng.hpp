@@ -1,0 +1,98 @@
+#pragma once
+/// \file rng.hpp
+/// The simulator's random-number facade: a Xoshiro256-backed generator with
+/// unbiased bounded integers (Lemire's multiply-shift rejection method),
+/// doubles in [0,1), Bernoulli draws, distinct-pair sampling and Fisher-Yates
+/// shuffling. All simulator randomness flows through this type so runs are
+/// reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "random/splitmix64.hpp"
+#include "random/xoshiro256.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+/// Deterministic pseudo-random generator; cheap to copy, never shared across
+/// threads (each parallel task derives its own via `child`).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEE)
+      : engine_(seed), seed_hint_(seed) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return engine_(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Unbiased via Lemire's method (Lemire, ACM TOMACS 2019).
+  std::uint64_t below(std::uint64_t bound) {
+    PROXCACHE_REQUIRE(bound > 0, "below() needs a positive bound");
+    __extension__ using u128 = unsigned __int128;
+    std::uint64_t x = engine_();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = engine_();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    PROXCACHE_REQUIRE(lo <= hi, "between() needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Uniformly random *distinct* pair of indices from [0, n); n >= 2.
+  std::pair<std::uint64_t, std::uint64_t> distinct_pair(std::uint64_t n) {
+    PROXCACHE_REQUIRE(n >= 2, "distinct_pair() needs n >= 2");
+    const std::uint64_t first = below(n);
+    std::uint64_t second = below(n - 1);
+    if (second >= first) ++second;
+    return {first, second};
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator identified by `stream`.
+  /// Children with different stream ids (or from different parents) are
+  /// statistically independent; the derivation is deterministic.
+  [[nodiscard]] Rng child(std::uint64_t stream) const {
+    std::uint64_t state = seed_hint_;
+    state ^= rng::mix64(stream + 0x9E3779B97F4A7C15ULL);
+    Rng derived;
+    derived.engine_ = rng::Xoshiro256(rng::mix64(state));
+    derived.seed_hint_ = rng::mix64(state);
+    return derived;
+  }
+
+ private:
+  rng::Xoshiro256 engine_;
+  std::uint64_t seed_hint_ = 0xC0FFEE;
+};
+
+}  // namespace proxcache

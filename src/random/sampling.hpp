@@ -1,0 +1,122 @@
+#pragma once
+/// \file sampling.hpp
+/// Streaming sampling utilities.
+///
+/// Strategy II must pick two uniform candidates from the *filtered* stream
+/// "replicas of file j within distance r of u" without materializing it.
+/// `ReservoirPair` does exactly that in one pass and O(1) space (classic
+/// Vitter reservoir sampling with k = 2), also reporting the stream length
+/// `|F_j(u)|` which the theory cares about.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "random/rng.hpp"
+
+namespace proxcache {
+
+/// Uniform 2-element reservoir over a one-pass stream of uint32 items.
+class ReservoirPair {
+ public:
+  explicit ReservoirPair(Rng& rng) : rng_(&rng) {}
+
+  /// Offer the next stream element.
+  void offer(std::uint32_t item) {
+    ++seen_;
+    if (seen_ == 1) {
+      first_ = item;
+    } else if (seen_ == 2) {
+      second_ = item;
+      // Keep the pair order-uniform as well.
+      if (rng_->bernoulli(0.5)) std::swap(first_, second_);
+    } else {
+      // Element i (1-based) replaces a reservoir slot w.p. 2/i.
+      const std::uint64_t slot = rng_->below(seen_);
+      if (slot == 0) first_ = item;
+      else if (slot == 1) second_ = item;
+    }
+  }
+
+  /// Number of elements offered so far (|F_j(u)| once the pass completes).
+  [[nodiscard]] std::uint64_t count() const { return seen_; }
+
+  /// The sampled pair; valid only when count() >= 2. Both elements are
+  /// distinct *positions* of the stream (values may repeat if the stream
+  /// itself has duplicates).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> pair() const {
+    return {first_, second_};
+  }
+
+  /// The single sampled element; valid only when count() >= 1.
+  [[nodiscard]] std::uint32_t single() const { return first_; }
+
+ private:
+  Rng* rng_;
+  std::uint64_t seen_ = 0;
+  std::uint32_t first_ = 0;
+  std::uint32_t second_ = 0;
+};
+
+/// Uniform k-element reservoir over a one-pass stream (Vitter's algorithm R).
+/// Generalizes ReservoirPair to the d-choice strategy; `k` is small (<= 8).
+class ReservoirK {
+ public:
+  ReservoirK(Rng& rng, std::uint32_t k) : rng_(&rng), k_(k) {
+    PROXCACHE_REQUIRE(k >= 1 && k <= 8, "reservoir supports 1 <= k <= 8");
+  }
+
+  void offer(std::uint32_t item) {
+    ++seen_;
+    if (kept_ < k_) {
+      slots_[kept_++] = item;
+      return;
+    }
+    const std::uint64_t slot = rng_->below(seen_);
+    if (slot < k_) slots_[slot] = item;
+  }
+
+  /// Number of elements offered so far.
+  [[nodiscard]] std::uint64_t count() const { return seen_; }
+
+  /// Sampled elements (min(k, count()) of them), uniform without
+  /// replacement over the stream positions.
+  [[nodiscard]] std::span<const std::uint32_t> sample() const {
+    return {slots_.data(), kept_};
+  }
+
+ private:
+  Rng* rng_;
+  std::uint32_t k_;
+  std::uint32_t kept_ = 0;
+  std::uint64_t seen_ = 0;
+  std::array<std::uint32_t, 8> slots_{};
+};
+
+/// Uniform 1-element reservoir (used for nearest-replica tie breaking among
+/// the equidistant shell hits).
+class ReservoirOne {
+ public:
+  explicit ReservoirOne(Rng& rng) : rng_(&rng) {}
+
+  void offer(std::uint32_t item) {
+    ++seen_;
+    if (rng_->below(seen_) == 0) keep_ = item;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return seen_; }
+
+  [[nodiscard]] std::optional<std::uint32_t> value() const {
+    if (seen_ == 0) return std::nullopt;
+    return keep_;
+  }
+
+ private:
+  Rng* rng_;
+  std::uint64_t seen_ = 0;
+  std::uint32_t keep_ = 0;
+};
+
+}  // namespace proxcache

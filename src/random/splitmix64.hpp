@@ -1,0 +1,44 @@
+#pragma once
+/// \file splitmix64.hpp
+/// SplitMix64 — the standard 64-bit seeding/mixing generator (Steele,
+/// Lea & Flood, OOPSLA'14 "Fast splittable pseudorandom number generators").
+/// Used here to expand a single user seed into engine state and to derive
+/// independent per-run streams; see seeding.hpp.
+
+#include <cstdint>
+
+namespace proxcache::rng {
+
+/// One SplitMix64 mixing step: advances `state` and returns the next output.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mixer: maps an arbitrary 64-bit value to a well-mixed one.
+/// Equivalent to a single `splitmix64_next` from state `x`.
+inline std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t state = x;
+  return splitmix64_next(state);
+}
+
+/// Minimal SplitMix64 engine satisfying UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return splitmix64_next(state_); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace proxcache::rng

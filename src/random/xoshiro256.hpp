@@ -1,0 +1,70 @@
+#pragma once
+/// \file xoshiro256.hpp
+/// xoshiro256** 1.0 (Blackman & Vigna) — the simulator's workhorse engine.
+/// Fast (sub-ns per draw), 256-bit state, equidistributed in 4 dimensions;
+/// far better statistical quality than std::minstd and much faster than
+/// std::mt19937_64 for this workload. Seeded via SplitMix64 per the authors'
+/// recommendation.
+
+#include <array>
+#include <cstdint>
+
+#include "random/splitmix64.hpp"
+
+namespace proxcache::rng {
+
+/// xoshiro256** engine satisfying UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Expands `seed` into the 256-bit state with SplitMix64. A zero seed is
+  /// fine — the expansion never produces the forbidden all-zero state.
+  explicit Xoshiro256(std::uint64_t seed = 0xA02B0C0DE5EEDULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t s1 = state_[1];
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// 2^128-step jump: produces a stream non-overlapping with the original
+  /// for up to 2^128 draws. Used to derive parallel streams.
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+        0x39ABDC4529B1661CULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace proxcache::rng

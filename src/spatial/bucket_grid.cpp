@@ -1,0 +1,52 @@
+#include "spatial/bucket_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+BucketGrid::BucketGrid(const Lattice& lattice, std::vector<NodeId> points,
+                       std::int32_t cell_hint)
+    : lattice_(&lattice) {
+  if (cell_hint > 0) {
+    cell_ = cell_hint;
+  } else {
+    // Target roughly one point per cell: cell ≈ side / sqrt(|points|).
+    const double target = static_cast<double>(lattice.side()) /
+                          std::sqrt(static_cast<double>(
+                              std::max<std::size_t>(points.size(), 1)));
+    cell_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(target));
+  }
+  cell_ = std::min(cell_, lattice.side());
+  if (lattice.wrap() == Wrap::Torus) {
+    // Wraparound cell arithmetic requires cell_ | side; round down to the
+    // nearest divisor (terminates at 1, which always divides).
+    while (lattice.side() % cell_ != 0) --cell_;
+  }
+  cells_per_axis_ = (lattice.side() + cell_ - 1) / cell_;
+
+  const std::size_t num_cells = static_cast<std::size_t>(cells_per_axis_) *
+                                static_cast<std::size_t>(cells_per_axis_);
+  std::vector<std::uint32_t> counts(num_cells, 0);
+  const auto cell_of = [&](NodeId p) {
+    const Point pt = lattice_->coord(p);
+    const std::size_t cx = static_cast<std::size_t>(pt.x / cell_);
+    const std::size_t cy = static_cast<std::size_t>(pt.y / cell_);
+    return cy * static_cast<std::size_t>(cells_per_axis_) + cx;
+  };
+  for (const NodeId p : points) ++counts[cell_of(p)];
+
+  offsets_.assign(num_cells + 1, 0);
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    offsets_[i + 1] = offsets_[i] + counts[i];
+  }
+  points_.resize(points.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const NodeId p : points) {
+    points_[cursor[cell_of(p)]++] = p;
+  }
+}
+
+}  // namespace proxcache

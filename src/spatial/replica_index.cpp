@@ -1,0 +1,87 @@
+#include "spatial/replica_index.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+ReplicaIndex::ReplicaIndex(const Lattice& lattice, const Placement& placement,
+                           std::size_t bucket_threshold)
+    : lattice_(&lattice), placement_(&placement) {
+  PROXCACHE_REQUIRE(lattice.size() == placement.num_nodes(),
+                    "lattice and placement disagree on node count");
+  buckets_.resize(placement.num_files());
+  if (bucket_threshold == 0) return;
+  for (FileId j = 0; j < placement.num_files(); ++j) {
+    const auto list = placement.replicas(j);
+    if (list.size() >= bucket_threshold) {
+      buckets_[j] = std::make_unique<BucketGrid>(
+          lattice, std::vector<NodeId>(list.begin(), list.end()));
+    }
+  }
+}
+
+NearestResult ReplicaIndex::nearest_by_scan(NodeId u, FileId j,
+                                            Rng& rng) const {
+  const auto list = placement_->replicas(j);
+  NearestResult result;
+  if (list.empty()) return result;
+
+  Hop best = lattice_->diameter() + 1;
+  ReservoirOne reservoir(rng);
+  for (const NodeId v : list) {
+    const Hop d = lattice_->distance(u, v);
+    if (d < best) {
+      best = d;
+      reservoir = ReservoirOne(rng);  // restart ties at the new minimum
+      reservoir.offer(v);
+    } else if (d == best) {
+      reservoir.offer(v);
+    }
+  }
+  result.server = *reservoir.value();
+  result.distance = best;
+  result.ties = static_cast<std::uint32_t>(reservoir.count());
+  return result;
+}
+
+NearestResult ReplicaIndex::nearest_by_shells(NodeId u, FileId j,
+                                              Rng& rng) const {
+  NearestResult result;
+  const Hop diameter = lattice_->diameter();
+  for (Hop d = 0; d <= diameter; ++d) {
+    ReservoirOne reservoir(rng);
+    for_each_at_distance(*lattice_, u, d, [&](NodeId v) {
+      if (placement_->caches(v, j)) reservoir.offer(v);
+    });
+    if (reservoir.count() > 0) {
+      result.server = *reservoir.value();
+      result.distance = d;
+      result.ties = static_cast<std::uint32_t>(reservoir.count());
+      return result;
+    }
+  }
+  return result;  // no replica anywhere
+}
+
+NearestResult ReplicaIndex::nearest(NodeId u, FileId j, Rng& rng) const {
+  const std::size_t replicas = placement_->replica_count(j);
+  if (replicas == 0) return NearestResult{};
+  // List scan costs ~|S_j| distance evaluations; the shell scan visits
+  // ~n/|S_j| nodes before the first hit. Crossover at |S_j|² ≈ n.
+  const std::size_t n = lattice_->size();
+  if (replicas * replicas <= n) {
+    return nearest_by_scan(u, j, rng);
+  }
+  return nearest_by_shells(u, j, rng);
+}
+
+std::size_t ReplicaIndex::count_replicas_within(NodeId u, FileId j,
+                                                Hop r) const {
+  std::size_t count = 0;
+  for_each_replica_within(u, j, r, [&](NodeId, Hop) { ++count; });
+  return count;
+}
+
+}  // namespace proxcache

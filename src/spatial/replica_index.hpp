@@ -1,0 +1,100 @@
+#pragma once
+/// \file replica_index.hpp
+/// Spatial queries over a placement: nearest replica of a file (with exact
+/// uniform tie breaking) and radius-filtered replica streams. This is the
+/// query layer both allocation strategies are built on.
+///
+/// Two complementary algorithms answer nearest-replica queries:
+///
+///  * **replica-list scan** — O(|S_j|): walk the file's replica list,
+///    tracking the minimum distance (reservoir-sampled among ties);
+///  * **expanding-shell scan** — O(|B_d*|·log M): walk shells of increasing
+///    distance around the requester until the first shell containing a
+///    replica (then finish that shell for ties).
+///
+/// The first wins when replicas are sparse, the second when they are dense;
+/// `nearest()` picks automatically (`|S_j|² ≶ n` crossover). Both are exact
+/// and tests cross-validate them. Radius streams use the replica list or a
+/// per-file bucket grid (built for files with large `|S_j|`).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/placement.hpp"
+#include "random/rng.hpp"
+#include "random/sampling.hpp"
+#include "spatial/bucket_grid.hpp"
+#include "topology/lattice.hpp"
+#include "topology/shells.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Result of a nearest-replica query.
+struct NearestResult {
+  NodeId server = kInvalidNode;  ///< chosen replica (invalid if none exists)
+  Hop distance = 0;              ///< hop distance to it
+  std::uint32_t ties = 0;        ///< number of equidistant candidates
+};
+
+/// Spatial query index bound to one (lattice, placement) pair. Holds
+/// references; the lattice and placement must outlive the index.
+class ReplicaIndex {
+ public:
+  /// Build the index. Files whose replica list exceeds `bucket_threshold`
+  /// get a bucket grid for radius queries (0 disables bucket grids).
+  ReplicaIndex(const Lattice& lattice, const Placement& placement,
+               std::size_t bucket_threshold = 512);
+
+  [[nodiscard]] const Lattice& lattice() const { return *lattice_; }
+  [[nodiscard]] const Placement& placement() const { return *placement_; }
+
+  /// Nearest replica of `j` to `u`, uniform among ties; automatic algorithm
+  /// selection. Returns an invalid server if the file has no replica.
+  NearestResult nearest(NodeId u, FileId j, Rng& rng) const;
+
+  /// Nearest replica via the replica-list scan (always exact).
+  NearestResult nearest_by_scan(NodeId u, FileId j, Rng& rng) const;
+
+  /// Nearest replica via the expanding-shell scan (always exact).
+  NearestResult nearest_by_shells(NodeId u, FileId j, Rng& rng) const;
+
+  /// Invoke `fn(NodeId replica, Hop distance)` for every replica of `j`
+  /// within distance `r` of `u` (including `u` itself if it caches `j`).
+  /// Each replica visited exactly once, unspecified order.
+  template <typename Fn>
+  void for_each_replica_within(NodeId u, FileId j, Hop r, Fn&& fn) const {
+    if (r >= lattice_->diameter()) {
+      // Unconstrained: the whole replica list qualifies.
+      for (const NodeId v : placement_->replicas(j)) {
+        fn(v, lattice_->distance(u, v));
+      }
+      return;
+    }
+    if (buckets_[j]) {
+      buckets_[j]->for_each_within(u, r, std::forward<Fn>(fn));
+      return;
+    }
+    for (const NodeId v : placement_->replicas(j)) {
+      const Hop d = lattice_->distance(u, v);
+      if (d <= r) fn(v, d);
+    }
+  }
+
+  /// `|F_j(u)|` — number of replicas of `j` within distance `r` of `u`.
+  [[nodiscard]] std::size_t count_replicas_within(NodeId u, FileId j,
+                                                  Hop r) const;
+
+  /// True iff file `j` has a bucket grid (exposed for tests/benches).
+  [[nodiscard]] bool has_bucket_grid(FileId j) const {
+    return buckets_[j] != nullptr;
+  }
+
+ private:
+  const Lattice* lattice_;
+  const Placement* placement_;
+  std::vector<std::unique_ptr<BucketGrid>> buckets_;
+};
+
+}  // namespace proxcache

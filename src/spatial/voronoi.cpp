@@ -1,0 +1,76 @@
+#include "spatial/voronoi.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+// Correctness of min-owner propagation: let c*(v) be the smallest-id center
+// at minimal distance d(v). Any shortest path v → c*(v) steps first to a
+// neighbour u with d(u) = d(v) − 1 (u cannot be closer to any other center,
+// otherwise v would be closer than d(v)). c*(v) is among u's nearest
+// centers, and no nearest center c' of u with c' < c*(v) can exist — it
+// would also be at distance ≤ d(v) from v, contradicting minimality of
+// c*(v). Hence owner(v) = min over BFS predecessors' owners, which is what
+// the FIFO layered relaxation below computes: all layer-(d−1) owners are
+// final before any layer-d node is dequeued.
+VoronoiTessellation::VoronoiTessellation(const Lattice& lattice,
+                                         const std::vector<NodeId>& centers) {
+  PROXCACHE_REQUIRE(!centers.empty(), "tessellation needs >= 1 center");
+  const std::size_t n = lattice.size();
+  constexpr Hop kUnreached = std::numeric_limits<Hop>::max();
+  owner_.assign(n, kInvalidNode);
+  distance_.assign(n, kUnreached);
+
+  std::deque<NodeId> frontier;
+  for (const NodeId c : centers) {
+    PROXCACHE_REQUIRE(c < n, "center id out of range");
+    if (distance_[c] == 0 && owner_[c] != kInvalidNode) {
+      owner_[c] = std::min(owner_[c], c);
+      continue;  // duplicate center
+    }
+    distance_[c] = 0;
+    owner_[c] = std::min(owner_[c] == kInvalidNode ? c : owner_[c], c);
+    frontier.push_back(c);
+  }
+
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : lattice.neighbors(u)) {
+      if (distance_[v] == kUnreached) {
+        distance_[v] = distance_[u] + 1;
+        owner_[v] = owner_[u];
+        frontier.push_back(v);
+      } else if (distance_[v] == distance_[u] + 1) {
+        owner_[v] = std::min(owner_[v], owner_[u]);
+      }
+    }
+  }
+
+  cell_sizes_.assign(n, 0);
+  for (const NodeId o : owner_) {
+    PROXCACHE_CHECK(o != kInvalidNode, "lattice must be fully covered");
+    ++cell_sizes_[o];
+  }
+}
+
+std::size_t VoronoiTessellation::cell_size(NodeId center) const {
+  PROXCACHE_REQUIRE(center < cell_sizes_.size(), "center id out of range");
+  return cell_sizes_[center];
+}
+
+std::size_t VoronoiTessellation::max_cell_size() const {
+  return *std::max_element(cell_sizes_.begin(), cell_sizes_.end());
+}
+
+double VoronoiTessellation::mean_distance() const {
+  double total = 0.0;
+  for (const Hop d : distance_) total += static_cast<double>(d);
+  return total / static_cast<double>(distance_.size());
+}
+
+}  // namespace proxcache

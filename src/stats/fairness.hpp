@@ -1,0 +1,51 @@
+#pragma once
+/// \file fairness.hpp
+/// Load-fairness indices complementing the paper's max-load metric.
+///
+/// The maximum load L is a worst-case statistic; systems papers often also
+/// report Jain's fairness index `(Σx)² / (n·Σx²)` (1 = perfectly even,
+/// 1/n = all load on one server) and the coefficient of variation. These
+/// are cheap one-pass functions over a load vector, used by the examples
+/// and available to downstream users.
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Jain's fairness index of a non-negative load vector; 1 when all equal.
+/// A zero vector is perfectly fair by convention (returns 1).
+inline double jain_fairness_index(const std::vector<Load>& loads) {
+  PROXCACHE_REQUIRE(!loads.empty(), "fairness of empty load vector");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const Load x : loads) {
+    const auto v = static_cast<double>(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+/// Coefficient of variation (population stddev / mean) of a load vector.
+/// A zero-mean vector returns 0.
+inline double load_cv(const std::vector<Load>& loads) {
+  PROXCACHE_REQUIRE(!loads.empty(), "cv of empty load vector");
+  double sum = 0.0;
+  for (const Load x : loads) sum += static_cast<double>(x);
+  const double mean = sum / static_cast<double>(loads.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (const Load x : loads) {
+    const double d = static_cast<double>(x) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(loads.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,98 @@
+#include "stats/gof.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+double chi_square_statistic(const std::vector<std::uint64_t>& observed,
+                            const std::vector<double>& expected_probs) {
+  PROXCACHE_REQUIRE(observed.size() == expected_probs.size(),
+                    "category count mismatch");
+  PROXCACHE_REQUIRE(!observed.empty(), "need >= 1 category");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : observed) total += c;
+  PROXCACHE_REQUIRE(total > 0, "need >= 1 observation");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        expected_probs[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      PROXCACHE_REQUIRE(observed[i] == 0,
+                        "observed count in zero-probability category");
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+namespace {
+
+// Lower regularized incomplete gamma P(s, x) by series (x < s + 1).
+double gamma_p_series(double s, double x) {
+  double term = 1.0 / s;
+  double sum = term;
+  double a = s;
+  for (int i = 0; i < 1000; ++i) {
+    a += 1.0;
+    term *= x / a;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+// Upper regularized incomplete gamma Q(s, x) by Lentz's continued fraction
+// (x >= s + 1).
+double gamma_q_cf(double s, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+}  // namespace
+
+double regularized_gamma_q(double s, double x) {
+  PROXCACHE_REQUIRE(s > 0.0, "gamma Q needs s > 0");
+  PROXCACHE_REQUIRE(x >= 0.0, "gamma Q needs x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < s + 1.0) return 1.0 - gamma_p_series(s, x);
+  return gamma_q_cf(s, x);
+}
+
+double chi_square_sf(double stat, std::size_t dof) {
+  PROXCACHE_REQUIRE(dof >= 1, "chi-square needs dof >= 1");
+  if (stat <= 0.0) return 1.0;
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, stat / 2.0);
+}
+
+double chi_square_pvalue(const std::vector<std::uint64_t>& observed,
+                         const std::vector<double>& expected_probs,
+                         std::size_t extra_constraints) {
+  const double stat = chi_square_statistic(observed, expected_probs);
+  PROXCACHE_REQUIRE(observed.size() > 1 + extra_constraints,
+                    "not enough categories for the requested constraints");
+  const std::size_t dof = observed.size() - 1 - extra_constraints;
+  return chi_square_sf(stat, dof);
+}
+
+}  // namespace proxcache

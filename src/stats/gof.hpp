@@ -1,0 +1,32 @@
+#pragma once
+/// \file gof.hpp
+/// Chi-square goodness-of-fit machinery, used by the statistical tests to
+/// validate the alias sampler, placement marginals and request traces
+/// against their target laws.
+
+#include <cstdint>
+#include <vector>
+
+namespace proxcache {
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (which must sum to ~1 and be positive wherever a count is).
+double chi_square_statistic(const std::vector<std::uint64_t>& observed,
+                            const std::vector<double>& expected_probs);
+
+/// Upper regularized incomplete gamma Q(s, x) = Γ(s, x)/Γ(s), s > 0, x >= 0.
+/// Series expansion for x < s+1, Lentz continued fraction otherwise
+/// (both standard; accurate to ~1e-12 here).
+double regularized_gamma_q(double s, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P(X >= stat) = Q(dof/2, stat/2).
+double chi_square_sf(double stat, std::size_t dof);
+
+/// Convenience: chi-square GOF p-value of counts vs probabilities with
+/// dof = (#categories − 1 − `extra_constraints`).
+double chi_square_pvalue(const std::vector<std::uint64_t>& observed,
+                         const std::vector<double>& expected_probs,
+                         std::size_t extra_constraints = 0);
+
+}  // namespace proxcache

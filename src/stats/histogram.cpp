@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t Histogram::at(std::uint64_t value) const {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+std::uint64_t Histogram::max_value() const {
+  for (std::size_t v = counts_.size(); v-- > 0;) {
+    if (counts_[v] > 0) return v;
+  }
+  return 0;
+}
+
+double Histogram::tail_fraction(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t tail = 0;
+  for (std::size_t v = threshold; v < counts_.size(); ++v) tail += counts_[v];
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  PROXCACHE_REQUIRE(q > 0.0 && q <= 1.0, "quantile needs q in (0, 1]");
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    cumulative += counts_[v];
+    if (static_cast<double>(cumulative) >= target) return v;
+  }
+  return max_value();
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+}  // namespace proxcache

@@ -1,0 +1,48 @@
+#pragma once
+/// \file histogram.hpp
+/// Dense integer histogram for load distributions (`#nodes with load = k`),
+/// mergeable across Monte-Carlo replications.
+
+#include <cstdint>
+#include <vector>
+
+namespace proxcache {
+
+/// Counts of non-negative integer observations.
+class Histogram {
+ public:
+  /// Record one observation of `value`.
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  /// Count at exactly `value`.
+  [[nodiscard]] std::uint64_t at(std::uint64_t value) const;
+
+  /// Largest observed value (0 for an empty histogram).
+  [[nodiscard]] std::uint64_t max_value() const;
+
+  /// Total number of observations.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Fraction of observations with value >= threshold (tail mass).
+  [[nodiscard]] double tail_fraction(std::uint64_t threshold) const;
+
+  /// Smallest value v such that at least `q`·total observations are <= v.
+  /// `q` in (0, 1]; empty histogram returns 0.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Mean observation value.
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace proxcache

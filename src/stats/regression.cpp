@@ -1,0 +1,76 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  PROXCACHE_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  PROXCACHE_REQUIRE(xs.size() >= 2, "need >= 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PROXCACHE_REQUIRE(sxx > 0.0, "predictor is constant");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy == 0.0) {
+    fit.r2 = 1.0;  // constant response fitted exactly by slope 0
+  } else {
+    double ssr = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.intercept + fit.slope * xs[i];
+      const double resid = ys[i] - pred;
+      ssr += resid * resid;
+    }
+    fit.r2 = 1.0 - ssr / syy;
+  }
+  return fit;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  PROXCACHE_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  PROXCACHE_REQUIRE(xs.size() >= 2, "need >= 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace proxcache

@@ -1,0 +1,30 @@
+#pragma once
+/// \file regression.hpp
+/// Ordinary least squares on one predictor, used by the scaling-law
+/// classifier to test which growth function (`log n`, `log log n`, …) best
+/// explains a measured max-load or cost series.
+
+#include <vector>
+
+namespace proxcache {
+
+/// Result of fitting `y ≈ intercept + slope · x`.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 when the fit is exact.
+  /// Defined as 1 - SSR/SST; if the response is constant (SST = 0) the fit
+  /// is exact and r2 = 1.
+  double r2 = 0.0;
+};
+
+/// OLS fit; `xs` and `ys` must have equal size >= 2 and `xs` must not be
+/// constant.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Pearson correlation coefficient of two equal-length samples (>= 2).
+/// Returns 0 when either sample is constant.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace proxcache

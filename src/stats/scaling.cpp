@@ -1,0 +1,96 @@
+#include "stats/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+double growth_transform(GrowthLaw law, double n) {
+  PROXCACHE_REQUIRE(n >= 3.0, "growth transforms need n >= 3");
+  switch (law) {
+    case GrowthLaw::Constant:
+      return 1.0;
+    case GrowthLaw::LogLog:
+      return std::log(std::log(n));
+    case GrowthLaw::LogOverLogLog:
+      return std::log(n) / std::log(std::log(n));
+    case GrowthLaw::Log:
+      return std::log(n);
+    case GrowthLaw::Sqrt:
+      return std::sqrt(n);
+    case GrowthLaw::Linear:
+      return n;
+  }
+  return n;  // unreachable
+}
+
+std::string to_string(GrowthLaw law) {
+  switch (law) {
+    case GrowthLaw::Constant:
+      return "constant";
+    case GrowthLaw::LogLog:
+      return "log log n";
+    case GrowthLaw::LogOverLogLog:
+      return "log n / log log n";
+    case GrowthLaw::Log:
+      return "log n";
+    case GrowthLaw::Sqrt:
+      return "sqrt(n)";
+    case GrowthLaw::Linear:
+      return "n";
+  }
+  return "?";  // unreachable
+}
+
+double ScalingReport::r2_of(GrowthLaw law) const {
+  for (const auto& candidate : candidates) {
+    if (candidate.law == law) return candidate.fit.r2;
+  }
+  return 0.0;
+}
+
+ScalingReport classify_growth(const std::vector<double>& ns,
+                              const std::vector<double>& ys) {
+  PROXCACHE_REQUIRE(ns.size() == ys.size(), "n/y size mismatch");
+  PROXCACHE_REQUIRE(ns.size() >= 3, "need >= 3 points");
+  for (const double n : ns) {
+    PROXCACHE_REQUIRE(n >= 3.0, "need n >= 3 for log log");
+  }
+
+  ScalingReport report;
+  // Constant goes first: a perfectly flat series fits every law with slope
+  // zero (R² = 1 across the board), and the stable sort below must then
+  // keep Constant on top.
+  {
+    double mean = 0.0;
+    for (const double y : ys) mean += y;
+    mean /= static_cast<double>(ys.size());
+    double sst = 0.0;
+    for (const double y : ys) sst += (y - mean) * (y - mean);
+    LinearFit flat;
+    flat.intercept = mean;
+    flat.slope = 0.0;
+    flat.r2 = sst == 0.0 ? 1.0 : 0.0;
+    report.candidates.push_back({GrowthLaw::Constant, flat});
+  }
+  const GrowthLaw laws[] = {GrowthLaw::LogLog, GrowthLaw::LogOverLogLog,
+                            GrowthLaw::Log, GrowthLaw::Sqrt,
+                            GrowthLaw::Linear};
+  for (const GrowthLaw law : laws) {
+    std::vector<double> xs(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      xs[i] = growth_transform(law, ns[i]);
+    }
+    report.candidates.push_back({law, linear_fit(xs, ys)});
+  }
+  std::stable_sort(report.candidates.begin(), report.candidates.end(),
+                   [](const GrowthFit& a, const GrowthFit& b) {
+                     return a.fit.r2 > b.fit.r2;
+                   });
+  report.best = report.candidates.front().law;
+  return report;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,57 @@
+#pragma once
+/// \file scaling.hpp
+/// Growth-law classification for measured series.
+///
+/// The paper's claims are asymptotic orders — `Θ(log n)` for Strategy I
+/// (Thm. 1), `Θ(log log n)` for Strategy II in the good regime (Thm. 4),
+/// `Θ(√n)` communication cost without a proximity cap. The benches verify a
+/// measured series `y(n)` against those shapes by regressing `y` on each
+/// candidate transform of `n` and reporting the R² ranking.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace proxcache {
+
+/// Candidate growth laws.
+enum class GrowthLaw : std::uint8_t {
+  Constant,        ///< y = c
+  LogLog,          ///< y ~ log log n
+  LogOverLogLog,   ///< y ~ log n / log log n
+  Log,             ///< y ~ log n
+  Sqrt,            ///< y ~ sqrt(n)
+  Linear,          ///< y ~ n
+};
+
+/// Transform `n` by the given law (the regression predictor).
+double growth_transform(GrowthLaw law, double n);
+
+/// Human-readable law name, e.g. "log n / log log n".
+std::string to_string(GrowthLaw law);
+
+/// One candidate's fit quality.
+struct GrowthFit {
+  GrowthLaw law;
+  LinearFit fit;
+};
+
+/// Classification of a series against all candidate laws.
+struct ScalingReport {
+  std::vector<GrowthFit> candidates;  ///< sorted by descending R²
+  GrowthLaw best;                     ///< highest-R² candidate
+
+  /// R² of a particular law (0 if absent).
+  [[nodiscard]] double r2_of(GrowthLaw law) const;
+};
+
+/// Fit `ys(ns)` against every candidate law. `ns` must contain at least
+/// three distinct values >= 3 (so log log is defined and non-constant).
+/// `Constant` is scored by the R² of a slope-0 fit, i.e. 0 unless the series
+/// is flat; it ranks top only when no law explains any variance better.
+ScalingReport classify_growth(const std::vector<double>& ns,
+                              const std::vector<double>& ys);
+
+}  // namespace proxcache

@@ -1,0 +1,76 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const {
+  PROXCACHE_REQUIRE(count_ > 0, "mean of empty summary");
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::standard_error() const {
+  if (count_ < 1) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Summary::ci95_halfwidth() const { return 1.96 * standard_error(); }
+
+double Summary::min() const {
+  PROXCACHE_REQUIRE(count_ > 0, "min of empty summary");
+  return min_;
+}
+
+double Summary::max() const {
+  PROXCACHE_REQUIRE(count_ > 0, "max of empty summary");
+  return max_;
+}
+
+Summary Summary::of(const std::vector<double>& values) {
+  Summary s;
+  for (const double v : values) s.add(v);
+  return s;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,44 @@
+#pragma once
+/// \file summary.hpp
+/// Streaming descriptive statistics (Welford's online algorithm) for
+/// aggregating Monte-Carlo replications: mean, unbiased variance, standard
+/// error and a normal-approximation 95% confidence interval.
+
+#include <cstddef>
+#include <vector>
+
+namespace proxcache {
+
+/// Order-independent streaming summary of a real-valued sample.
+class Summary {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another summary (parallel reduction; Chan et al. update).
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (0 for fewer than 2 observations).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double standard_error() const;
+  /// Half-width of the normal-approximation 95% CI (1.96 · SE).
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Summarize a whole vector at once.
+  static Summary of(const std::vector<double>& values);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace proxcache

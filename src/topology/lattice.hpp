@@ -1,0 +1,94 @@
+#pragma once
+/// \file lattice.hpp
+/// The cache network's topology substrate: a `side × side` square lattice of
+/// servers with hop (L1 / Manhattan) distance, in one of two wrap modes:
+///
+/// * `Wrap::Torus` — opposite edges identified (the paper's default model,
+///   Remark 1: avoids boundary effects, all asymptotics carry to the grid);
+/// * `Wrap::Grid`  — bounded grid with true boundaries (ablation).
+///
+/// Nodes are identified by `NodeId = y * side + x`. All distance and
+/// neighborhood queries (`B_r(u)` in the paper's notation) live here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/point.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Edge-identification mode of the lattice.
+enum class Wrap : std::uint8_t {
+  Torus,  ///< wraparound in both axes (paper default)
+  Grid,   ///< bounded; no wraparound
+};
+
+/// Parse "torus"/"grid" (case-sensitive); throws std::invalid_argument.
+Wrap wrap_from_string(const std::string& name);
+
+/// Human-readable wrap-mode name.
+std::string to_string(Wrap wrap);
+
+/// A square lattice topology with L1 hop distance.
+class Lattice {
+ public:
+  /// Construct a `side × side` lattice; `side >= 1`.
+  Lattice(std::int32_t side, Wrap wrap);
+
+  /// Construct from a node count that must be a perfect square.
+  static Lattice from_node_count(std::size_t n, Wrap wrap);
+
+  /// True iff `n` has an exact integer square root.
+  static bool is_perfect_square(std::size_t n);
+
+  [[nodiscard]] std::int32_t side() const { return side_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(side_) * static_cast<std::size_t>(side_);
+  }
+  [[nodiscard]] Wrap wrap() const { return wrap_; }
+
+  /// Coordinate of a node id.
+  [[nodiscard]] Point coord(NodeId u) const;
+
+  /// Node id of an in-bounds coordinate.
+  [[nodiscard]] NodeId node(Point p) const;
+
+  /// Node id of a possibly out-of-bounds coordinate after wrap reduction.
+  /// Only valid in torus mode; grid callers must pass in-bounds points.
+  [[nodiscard]] NodeId node_wrapped(Point p) const;
+
+  /// Hop (shortest-path) distance between two nodes.
+  [[nodiscard]] Hop distance(NodeId u, NodeId v) const;
+
+  /// Largest possible hop distance between any two nodes (the diameter).
+  [[nodiscard]] Hop diameter() const;
+
+  /// Exact `|B_r(u)|` — number of nodes within distance `r` of `u`
+  /// (including `u`). On the torus this is independent of `u`.
+  [[nodiscard]] std::size_t ball_size(NodeId u, Hop r) const;
+
+  /// Exact number of nodes at distance exactly `d` from `u`.
+  [[nodiscard]] std::size_t shell_size(NodeId u, Hop d) const;
+
+  /// The 2–4 lattice neighbours of `u` (4 on a torus with side >= 3).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId u) const;
+
+  /// Average hop distance from a fixed node to a uniformly random node.
+  /// Used as the reference "no proximity constraint" communication cost,
+  /// which is Θ(√n).
+  [[nodiscard]] double mean_distance_to_random_node(NodeId u) const;
+
+ private:
+  /// Per-axis ring (torus) or line (grid) distance.
+  [[nodiscard]] std::int32_t axis_distance(std::int32_t a, std::int32_t b) const;
+
+  /// Number of axis offsets at ring distance exactly `a` (torus only).
+  [[nodiscard]] std::int32_t torus_axis_multiplicity(std::int32_t a) const;
+
+  std::int32_t side_;
+  Wrap wrap_;
+};
+
+}  // namespace proxcache

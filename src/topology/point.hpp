@@ -1,0 +1,17 @@
+#pragma once
+/// \file point.hpp
+/// Integer lattice coordinates.
+
+#include <cstdint>
+
+namespace proxcache {
+
+/// A coordinate on the √n × √n lattice; `x` is the column, `y` the row.
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,19 @@
+#include "topology/shells.hpp"
+
+namespace proxcache {
+
+std::vector<NodeId> collect_shell(const Lattice& lattice, NodeId u, Hop d) {
+  std::vector<NodeId> out;
+  out.reserve(lattice.shell_size(u, d));
+  for_each_at_distance(lattice, u, d, [&](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<NodeId> collect_ball(const Lattice& lattice, NodeId u, Hop r) {
+  std::vector<NodeId> out;
+  out.reserve(lattice.ball_size(u, r));
+  for_each_in_ball(lattice, u, r, [&](NodeId v, Hop) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace proxcache

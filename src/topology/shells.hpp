@@ -1,0 +1,100 @@
+#pragma once
+/// \file shells.hpp
+/// Shell-by-shell neighborhood enumeration.
+///
+/// The expanding-ring nearest-replica search and the radius-filtered
+/// candidate scan both iterate the nodes of `B_r(u)` in order of increasing
+/// distance. These enumerators visit each node exactly once (wraparound
+/// collisions on small tori are handled by enumerating per-axis offset
+/// *values*, not signs).
+
+#include <cstdlib>
+#include <vector>
+
+#include "topology/lattice.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+namespace detail {
+
+/// Distinct torus axis offsets whose ring distance is exactly `a`
+/// (0, 1 or 2 values).
+inline int torus_axis_offsets(std::int32_t side, std::int32_t a,
+                              std::int32_t out[2]) {
+  if (a == 0) {
+    out[0] = 0;
+    return 1;
+  }
+  if (2 * a < side) {
+    out[0] = a;
+    out[1] = -a;
+    return 2;
+  }
+  if (2 * a == side) {
+    out[0] = a;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Invoke `fn(NodeId)` for every node at hop distance exactly `d` from `u`.
+/// Visits each node once; does nothing if the shell is empty.
+template <typename Fn>
+void for_each_at_distance(const Lattice& lattice, NodeId u, Hop d, Fn&& fn) {
+  const Point p = lattice.coord(u);
+  const auto dist = static_cast<std::int32_t>(d);
+  const std::int32_t side = lattice.side();
+
+  if (lattice.wrap() == Wrap::Torus) {
+    const std::int32_t max_axis = side / 2;
+    for (std::int32_t dx = 0; dx <= dist && dx <= max_axis; ++dx) {
+      const std::int32_t dy = dist - dx;
+      if (dy > max_axis) continue;
+      std::int32_t xs[2];
+      std::int32_t ys[2];
+      const int nx = detail::torus_axis_offsets(side, dx, xs);
+      const int ny = detail::torus_axis_offsets(side, dy, ys);
+      for (int i = 0; i < nx; ++i) {
+        for (int j = 0; j < ny; ++j) {
+          fn(lattice.node_wrapped(Point{p.x + xs[i], p.y + ys[j]}));
+        }
+      }
+    }
+    return;
+  }
+
+  // Grid mode: clamp to the boundary.
+  for (std::int32_t dx = -dist; dx <= dist; ++dx) {
+    const std::int32_t x = p.x + dx;
+    if (x < 0 || x >= side) continue;
+    const std::int32_t rem = dist - std::abs(dx);
+    if (rem == 0) {
+      fn(lattice.node(Point{x, p.y}));
+      continue;
+    }
+    if (p.y + rem < side) fn(lattice.node(Point{x, p.y + rem}));
+    if (p.y - rem >= 0) fn(lattice.node(Point{x, p.y - rem}));
+  }
+}
+
+/// Invoke `fn(NodeId, Hop)` for every node within distance `r` of `u`
+/// (including `u` itself at distance 0), in order of increasing distance.
+template <typename Fn>
+void for_each_in_ball(const Lattice& lattice, NodeId u, Hop r, Fn&& fn) {
+  const Hop cap = std::min<Hop>(r, lattice.diameter());
+  for (Hop d = 0; d <= cap; ++d) {
+    for_each_at_distance(lattice, u, d,
+                         [&](NodeId v) { fn(v, d); });
+  }
+}
+
+/// Materialize the shell at distance `d` (test / debugging convenience).
+std::vector<NodeId> collect_shell(const Lattice& lattice, NodeId u, Hop d);
+
+/// Materialize the ball `B_r(u)` in increasing-distance order.
+std::vector<NodeId> collect_ball(const Lattice& lattice, NodeId u, Hop r);
+
+}  // namespace proxcache

@@ -1,0 +1,48 @@
+#pragma once
+/// \file contracts.hpp
+/// Lightweight precondition / invariant checking.
+///
+/// `PROXCACHE_REQUIRE` guards public API preconditions and always fires
+/// (throws `std::invalid_argument`), following the Core Guidelines advice to
+/// validate at module boundaries. `PROXCACHE_CHECK` guards internal
+/// invariants and throws `std::logic_error`. Both build the message lazily.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace proxcache::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& what) {
+  std::ostringstream os;
+  os << "precondition violated: (" << expr << ") at " << file << ':' << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& what) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace proxcache::detail
+
+/// Validate a caller-supplied argument; throws std::invalid_argument.
+#define PROXCACHE_REQUIRE(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::proxcache::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define PROXCACHE_CHECK(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::proxcache::detail::throw_check(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

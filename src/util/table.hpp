@@ -1,0 +1,58 @@
+#pragma once
+/// \file table.hpp
+/// Console table and CSV emitters used by the benchmark harnesses to print
+/// the paper's figure series ("same rows the paper reports").
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace proxcache {
+
+/// One table cell: text, integer, or floating point with fixed precision.
+class Cell {
+ public:
+  Cell(std::string text) : value_(std::move(text)) {}          // NOLINT
+  Cell(const char* text) : value_(std::string(text)) {}        // NOLINT
+  Cell(std::int64_t v) : value_(v) {}                          // NOLINT
+  Cell(int v) : value_(static_cast<std::int64_t>(v)) {}        // NOLINT
+  Cell(std::size_t v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Cell(double v, int precision = 3) : value_(Real{v, precision}) {}  // NOLINT
+
+  /// Render the cell to a string (fixed notation for doubles).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Real {
+    double value;
+    int precision;
+  };
+  std::variant<std::string, std::int64_t, Real> value_;
+};
+
+/// Builds an aligned monospace table and renders it to a stream.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of embedded commas needed here,
+  /// but quotes are applied when a cell contains a comma or quote).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,36 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental identifier and size types shared across all proxcache modules.
+///
+/// The simulator deals with three id spaces: nodes (servers on the lattice),
+/// files (library entries) and requests. They are kept as distinct aliases so
+/// signatures document which space a value lives in; all are dense 0-based
+/// indices.
+
+#include <cstdint>
+#include <limits>
+
+namespace proxcache {
+
+/// Index of a caching server on the lattice, in `[0, n)`.
+using NodeId = std::uint32_t;
+
+/// Index of a file in the library, in `[0, K)`.
+using FileId = std::uint32_t;
+
+/// Hop count (L1 distance on the lattice).
+using Hop = std::uint32_t;
+
+/// Per-node request load counter.
+using Load = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. a nearest-replica query on an uncached file).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no file".
+inline constexpr FileId kInvalidFile = std::numeric_limits<FileId>::max();
+
+/// Sentinel radius meaning "no proximity constraint" (`r = ∞` in the paper).
+inline constexpr Hop kUnboundedRadius = std::numeric_limits<Hop>::max();
+
+}  // namespace proxcache

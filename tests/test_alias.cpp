@@ -1,0 +1,94 @@
+// Tests for the Walker/Vose alias sampler: lossless table construction and
+// distributional correctness under chi-square.
+#include "random/alias_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/gof.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(AliasSampler, RejectsBadWeights) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(AliasSampler, EncodedPmfMatchesNormalizedWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const AliasSampler sampler(weights);
+  const std::vector<double> pmf = sampler.encoded_pmf();
+  ASSERT_EQ(pmf.size(), 4u);
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(pmf[i], weights[i] / total, 1e-12);
+  }
+}
+
+TEST(AliasSampler, SingleCategoryAlwaysSampled) {
+  const AliasSampler sampler({3.14});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightCategoriesNeverSampled) {
+  const AliasSampler sampler({0.0, 1.0, 0.0, 1.0, 0.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = sampler.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasSampler, UniformWeightsChiSquare) {
+  const std::size_t k = 10;
+  const AliasSampler sampler(std::vector<double>(k, 1.0));
+  Rng rng(3);
+  std::vector<std::uint64_t> counts(k, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_GT(chi_square_pvalue(counts, std::vector<double>(k, 0.1)), 1e-4);
+}
+
+TEST(AliasSampler, SkewedWeightsChiSquare) {
+  const std::vector<double> weights = {8.0, 4.0, 2.0, 1.0, 1.0};
+  const AliasSampler sampler(weights);
+  Rng rng(4);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  for (int i = 0; i < 160000; ++i) ++counts[sampler.sample(rng)];
+  std::vector<double> expected;
+  for (const double w : weights) expected.push_back(w / 16.0);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+TEST(AliasSampler, ExtremeSkewStillCoversRareCategory) {
+  // p(rare) = 1e-4; 200k draws should see it but not often.
+  std::vector<double> weights(2, 0.0);
+  weights[0] = 9999.0;
+  weights[1] = 1.0;
+  const AliasSampler sampler(weights);
+  Rng rng(5);
+  int rare = 0;
+  for (int i = 0; i < 200000; ++i) rare += sampler.sample(rng) == 1 ? 1 : 0;
+  EXPECT_GT(rare, 0);
+  EXPECT_LT(rare, 100);  // E = 20
+}
+
+TEST(AliasSampler, LargeCategoryCountEncodesExactly) {
+  std::vector<double> weights(5000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 13);
+  }
+  const AliasSampler sampler(weights);
+  const std::vector<double> pmf = sampler.encoded_pmf();
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ASSERT_NEAR(pmf[i], weights[i] / total, 1e-9) << "category " << i;
+  }
+}
+
+}  // namespace
+}  // namespace proxcache

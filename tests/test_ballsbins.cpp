@@ -1,0 +1,143 @@
+// Tests for ballsbins/processes and theory: conservation, the classical
+// one-vs-two-choice gap, d-monotonicity, and the reference formulas.
+#include "ballsbins/processes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ballsbins/theory.hpp"
+#include "stats/summary.hpp"
+
+namespace proxcache::ballsbins {
+namespace {
+
+TEST(OneChoice, ConservesBalls) {
+  Rng rng(1);
+  const AllocationResult result = one_choice(100, 1000, rng);
+  EXPECT_EQ(result.total(), 1000u);
+  EXPECT_EQ(result.loads.size(), 100u);
+  Load max = 0;
+  for (const Load l : result.loads) max = std::max(max, l);
+  EXPECT_EQ(result.max_load, max);
+}
+
+TEST(OneChoice, MaxLoadAtLeastAverage) {
+  Rng rng(2);
+  const AllocationResult result = one_choice(50, 500, rng);
+  EXPECT_GE(result.max_load, 10u);  // ceil(m/n)
+}
+
+TEST(OneChoice, RejectsZeroBins) {
+  Rng rng(3);
+  EXPECT_THROW(one_choice(0, 10, rng), std::invalid_argument);
+}
+
+TEST(DChoice, ConservesBalls) {
+  Rng rng(4);
+  const AllocationResult result = d_choice(64, 640, 2, rng);
+  EXPECT_EQ(result.total(), 640u);
+}
+
+TEST(DChoice, DEqualOneMatchesOneChoiceOrder) {
+  // Both are single uniform choices; distributions coincide. Compare means
+  // of max load over replications (same order, generous tolerance).
+  Summary one;
+  Summary d1;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    Rng rng_a(100 + s);
+    Rng rng_b(100 + s);
+    one.add(one_choice(128, 128, rng_a).max_load);
+    d1.add(d_choice(128, 128, 1, rng_b).max_load);
+  }
+  EXPECT_NEAR(one.mean(), d1.mean(), 0.8);
+}
+
+TEST(DChoice, RejectsBadD) {
+  Rng rng(5);
+  EXPECT_THROW(d_choice(10, 10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(d_choice(10, 10, 11, rng), std::invalid_argument);
+  EXPECT_THROW(d_choice(100, 10, 9, rng), std::invalid_argument);
+}
+
+TEST(DChoice, TwoChoicesBeatOneChoice) {
+  // The headline exponential gap: at n = m = 1024, one-choice max load is
+  // ~log n/log log n ≈ 4–6 while two-choice is ~log log n ≈ 3.
+  Summary one;
+  Summary two;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    Rng rng_a(7 + s);
+    Rng rng_b(7 + s);
+    one.add(one_choice(1024, 1024, rng_a).max_load);
+    two.add(d_choice(1024, 1024, 2, rng_b).max_load);
+  }
+  EXPECT_GT(one.mean(), two.mean() + 0.8);
+}
+
+TEST(DChoice, MoreChoicesNeverHurt) {
+  Summary two;
+  Summary four;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    Rng rng_a(50 + s);
+    Rng rng_b(50 + s);
+    two.add(d_choice(512, 512, 2, rng_a).max_load);
+    four.add(d_choice(512, 512, 4, rng_b).max_load);
+  }
+  EXPECT_GE(two.mean() + 0.3, four.mean());
+}
+
+TEST(DChoice, AllBinsChosenWhenDEqualsN) {
+  // d = n: every ball sees all bins → perfectly balanced allocation.
+  Rng rng(6);
+  const AllocationResult result = d_choice(8, 64, 8, rng);
+  for (const Load l : result.loads) EXPECT_EQ(l, 8u);
+  EXPECT_EQ(result.max_load, 8u);
+}
+
+TEST(DChoiceAllocator, IncrementalPlacementTracksLoads) {
+  Rng rng(7);
+  DChoiceAllocator allocator(10, 2);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t bin = allocator.place(rng);
+    EXPECT_LT(bin, 10u);
+    ++total;
+  }
+  std::uint64_t sum = 0;
+  for (const Load l : allocator.loads()) sum += l;
+  EXPECT_EQ(sum, total);
+}
+
+TEST(Theory, ReferenceFormulas) {
+  EXPECT_NEAR(two_choice_reference(1024, 2),
+              std::log(std::log(1024.0)) / std::log(2.0), 1e-12);
+  EXPECT_NEAR(one_choice_reference(1024),
+              std::log(1024.0) / std::log(std::log(1024.0)), 1e-12);
+  EXPECT_NEAR(log_reference(1024), std::log(1024.0), 1e-12);
+  EXPECT_GT(one_choice_reference(1024), two_choice_reference(1024));
+  EXPECT_THROW(two_choice_reference(2), std::invalid_argument);
+  EXPECT_THROW(two_choice_reference(100, 1), std::invalid_argument);
+}
+
+TEST(Theory, KenthapadiBoundDenseVsSparse) {
+  // The bound only bites once Δ/log⁴n is genuinely large, so evaluate at an
+  // asymptotic-scale n. Dense graph (Δ = n^0.9): bound ~ log log n + O(1);
+  // sparse graph (Δ <= log⁴ n): collapses to the one-choice order.
+  const std::size_t n = 1000000000000ull;  // 10^12
+  const double dense = kenthapadi_bound(n, std::pow(1e12, 0.9));
+  const double sparse = kenthapadi_bound(n, 10.0);
+  EXPECT_LT(dense, sparse);
+  EXPECT_NEAR(sparse, one_choice_reference(n), 1e-12);
+}
+
+TEST(Theory, Theorem4RegimeBoundary) {
+  // α + 2β clearly above the n-dependent threshold: holds; below: does not.
+  // At n = 2^20 the threshold is 1 + 2·log log n / log n ≈ 1.379.
+  EXPECT_TRUE(theorem4_regime_holds(1u << 20, 0.5, 0.5));    // 1.5 >= 1.379
+  EXPECT_FALSE(theorem4_regime_holds(1u << 20, 0.2, 0.2));   // 0.6 < 1
+  // Exactly 1: fails because of the +2 log log n / log n slack.
+  EXPECT_FALSE(theorem4_regime_holds(1u << 20, 0.5, 0.25));
+}
+
+}  // namespace
+}  // namespace proxcache::ballsbins

@@ -1,0 +1,141 @@
+// Tests for util/cli: parsing, defaults, error reporting and help output.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace proxcache {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("prog", "test program");
+  args.add_int("n", 2025, "node count");
+  args.add_double("gamma", 0.8, "zipf parameter");
+  args.add_string("topology", "torus", "wrap mode");
+  args.add_flag("full", "paper scale");
+  return args;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), items.begin(), items.end());
+  return argv;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 2025);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma"), 0.8);
+  EXPECT_EQ(args.get_string("topology"), "torus");
+  EXPECT_FALSE(args.get_flag("full"));
+  EXPECT_FALSE(args.was_set("n"));
+}
+
+TEST(Cli, ParsesSeparatedValues) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--n", "100", "--gamma", "1.5", "--topology",
+                             "grid", "--full"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma"), 1.5);
+  EXPECT_EQ(args.get_string("topology"), "grid");
+  EXPECT_TRUE(args.get_flag("full"));
+  EXPECT_TRUE(args.was_set("n"));
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--n=64", "--gamma=2.0"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 64);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma"), 2.0);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+  ArgParser args("p", "d");
+  args.add_int("offset", 0, "signed value");
+  const auto argv = argv_of({"--offset", "-5"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("offset"), -5);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--bogus", "1"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--n"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, BadTypeThrows) {
+  {
+    ArgParser args = make_parser();
+    const auto argv = argv_of({"--n", "abc"});
+    EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+                 CliError);
+  }
+  {
+    ArgParser args = make_parser();
+    const auto argv = argv_of({"--gamma", "abc"});
+    EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+                 CliError);
+  }
+}
+
+TEST(Cli, FlagRejectsValue) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--full=yes"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, PositionalArgumentsRejected) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"positional"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               CliError);
+}
+
+TEST(Cli, HelpRequested) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--help"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(args.help_requested());
+  const std::string help = args.help_text();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("--gamma"), std::string::npos);
+  EXPECT_NE(help.find("test program"), std::string::npos);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(args.get_double("n"), std::invalid_argument);
+  EXPECT_THROW(args.get_int("unknown"), std::invalid_argument);
+}
+
+TEST(Cli, DuplicateRegistrationRejected) {
+  ArgParser args("p", "d");
+  args.add_int("x", 1, "first");
+  EXPECT_THROW(args.add_flag("x", "again"), std::invalid_argument);
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  ArgParser args = make_parser();
+  const auto argv = argv_of({"--n", "10", "--n", "20"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 20);
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,94 @@
+// Tests for graph/compact_graph: canonicalization, adjacency structure and
+// degree statistics.
+#include "graph/compact_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace proxcache {
+namespace {
+
+TEST(CompactGraph, CanonicalizesEdges) {
+  // Self loops dropped, duplicates merged, orientation normalized.
+  const CompactGraph graph = CompactGraph::from_edges(
+      4, {{1, 0}, {0, 1}, {2, 2}, {3, 1}, {1, 3}, {1, 3}});
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_TRUE(graph.has_edge(1, 3));
+  EXPECT_FALSE(graph.has_edge(2, 2));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(CompactGraph, NeighborsSortedAndSymmetric) {
+  const CompactGraph graph =
+      CompactGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 4}, {2, 3}});
+  const auto n0 = graph.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  EXPECT_EQ(n0.size(), 3u);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    for (const std::uint32_t v : graph.neighbors(u)) {
+      EXPECT_TRUE(graph.has_edge(v, u));
+    }
+  }
+}
+
+TEST(CompactGraph, DegreeMatchesNeighborCount) {
+  const CompactGraph graph =
+      CompactGraph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                   {5, 0}, {0, 3}});
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    EXPECT_EQ(graph.degree(u), graph.neighbors(u).size());
+  }
+  std::size_t degree_sum = 0;
+  for (std::uint32_t u = 0; u < 6; ++u) degree_sum += graph.degree(u);
+  EXPECT_EQ(degree_sum, 2 * graph.num_edges());
+}
+
+TEST(CompactGraph, DegreeStats) {
+  const CompactGraph graph =
+      CompactGraph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  const DegreeStats stats = graph.degree_stats();
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_NEAR(stats.mean_degree, 1.5, 1e-12);
+  EXPECT_NEAR(stats.ratio, 3.0, 1e-12);
+}
+
+TEST(CompactGraph, IsolatedVertexGivesInfiniteRatio) {
+  const CompactGraph graph = CompactGraph::from_edges(3, {{0, 1}});
+  const DegreeStats stats = graph.degree_stats();
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_TRUE(std::isinf(stats.ratio));
+}
+
+TEST(CompactGraph, RegularGraphHasUnitRatio) {
+  // 4-cycle: all degrees 2.
+  const CompactGraph graph =
+      CompactGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_NEAR(graph.degree_stats().ratio, 1.0, 1e-12);
+}
+
+TEST(CompactGraph, EdgeListIsCanonicallySorted) {
+  const CompactGraph graph =
+      CompactGraph::from_edges(4, {{3, 2}, {1, 0}, {2, 0}});
+  const auto& edges = graph.edges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const auto& [a, b] : edges) EXPECT_LT(a, b);
+}
+
+TEST(CompactGraph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(CompactGraph::from_edges(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(CompactGraph, EmptyGraph) {
+  const CompactGraph graph = CompactGraph::from_edges(3, {});
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.degree(0), 0u);
+}
+
+}  // namespace
+}  // namespace proxcache

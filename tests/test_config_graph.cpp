@@ -1,0 +1,100 @@
+// Tests for graph/config_graph: Definition 4's edge condition (shared file
+// AND within 2r) against brute force, plus the Lemma 3 degree prediction.
+#include "graph/config_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace proxcache {
+namespace {
+
+Placement make(std::size_t n, std::size_t k, std::size_t m,
+               std::uint64_t seed = 17) {
+  Rng rng(seed);
+  return Placement::generate(n, Popularity::uniform(k), m,
+                             PlacementMode::ProportionalWithReplacement, rng);
+}
+
+TEST(ConfigGraph, EdgeConditionMatchesBruteForce) {
+  const Lattice lattice(7, Wrap::Torus);
+  const Placement placement = make(49, 8, 3);
+  for (const Hop r : {1u, 2u, 3u}) {
+    const CompactGraph graph = build_config_graph(lattice, placement, r);
+    for (NodeId u = 0; u < 49; ++u) {
+      for (NodeId v = u + 1; v < 49; ++v) {
+        const bool share = placement.overlap(u, v) >= 1;
+        const bool close = lattice.distance(u, v) <= 2 * r;
+        EXPECT_EQ(graph.has_edge(u, v), share && close)
+            << "u=" << u << " v=" << v << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(ConfigGraph, UnboundedRadiusIgnoresDistance) {
+  const Lattice lattice(6, Wrap::Torus);
+  const Placement placement = make(36, 5, 2);
+  const CompactGraph graph =
+      build_config_graph(lattice, placement, kUnboundedRadius);
+  for (NodeId u = 0; u < 36; ++u) {
+    for (NodeId v = u + 1; v < 36; ++v) {
+      EXPECT_EQ(graph.has_edge(u, v), placement.overlap(u, v) >= 1);
+    }
+  }
+}
+
+TEST(ConfigGraph, RadiusMonotonicity) {
+  const Lattice lattice(8, Wrap::Torus);
+  const Placement placement = make(64, 10, 3);
+  std::size_t last_edges = 0;
+  for (const Hop r : {0u, 1u, 2u, 4u, 8u}) {
+    const CompactGraph graph = build_config_graph(lattice, placement, r);
+    EXPECT_GE(graph.num_edges(), last_edges);
+    last_edges = graph.num_edges();
+  }
+}
+
+TEST(ConfigGraph, GridModeRespectsBoundaries) {
+  const Lattice lattice(5, Wrap::Grid);
+  const Placement placement = make(25, 3, 2);
+  const CompactGraph graph = build_config_graph(lattice, placement, 1);
+  for (NodeId u = 0; u < 25; ++u) {
+    for (const std::uint32_t v : graph.neighbors(u)) {
+      EXPECT_LE(lattice.distance(u, v), 2u);
+    }
+  }
+}
+
+TEST(ConfigGraph, PredictedDegreeScaling) {
+  const Lattice lattice(45, Wrap::Torus);
+  // Δ = M²(2r)²/K: doubling M quadruples, doubling r quadruples, doubling K
+  // halves.
+  const double base = predicted_config_degree(lattice, 4, 100, 5);
+  EXPECT_NEAR(predicted_config_degree(lattice, 8, 100, 5) / base, 4.0, 1e-9);
+  EXPECT_NEAR(predicted_config_degree(lattice, 4, 100, 10) / base, 4.0, 1e-9);
+  EXPECT_NEAR(predicted_config_degree(lattice, 4, 200, 5) / base, 0.5, 1e-9);
+}
+
+TEST(ConfigGraph, Lemma3DegreesTrackPrediction) {
+  // In the goodness regime the measured mean degree should be within a
+  // constant factor of Δ = M²(2r)²/K.
+  const Lattice lattice = Lattice::from_node_count(900, Wrap::Torus);
+  const std::size_t m = 8;
+  const std::size_t k = 900;
+  const Hop r = 8;
+  const Placement placement = make(900, k, m, 99);
+  const CompactGraph graph = build_config_graph(lattice, placement, r);
+  const double predicted = predicted_config_degree(lattice, m, k, r);
+  const double measured = graph.degree_stats().mean_degree;
+  EXPECT_GT(measured, predicted / 8.0);
+  EXPECT_LT(measured, predicted * 8.0);
+}
+
+TEST(ConfigGraph, MismatchedInputsRejected) {
+  const Lattice lattice(5, Wrap::Torus);
+  const Placement placement = make(36, 4, 2);
+  EXPECT_THROW(build_config_graph(lattice, placement, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

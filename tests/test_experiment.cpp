@@ -1,0 +1,74 @@
+// Tests for core/experiment: Monte-Carlo aggregation, thread-count
+// invariance, and pooled statistics.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace proxcache {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.num_nodes = 100;
+  config.num_files = 20;
+  config.cache_size = 4;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Experiment, AggregatesRunCount) {
+  const ExperimentResult result = run_experiment(base_config(), 8);
+  EXPECT_EQ(result.runs, 8u);
+  EXPECT_EQ(result.max_load.count(), 8u);
+  EXPECT_EQ(result.comm_cost.count(), 8u);
+}
+
+TEST(Experiment, PooledHistogramCoversAllServers) {
+  const ExperimentResult result = run_experiment(base_config(), 5);
+  EXPECT_EQ(result.pooled_load_histogram.total(), 5u * 100u);
+}
+
+TEST(Experiment, ParallelMatchesSequential) {
+  const ExperimentConfig config = base_config();
+  const ExperimentResult sequential = run_experiment(config, 6, nullptr);
+  ThreadPool pool(4);
+  const ExperimentResult parallel = run_experiment(config, 6, &pool);
+  EXPECT_DOUBLE_EQ(sequential.max_load.mean(), parallel.max_load.mean());
+  EXPECT_DOUBLE_EQ(sequential.comm_cost.mean(), parallel.comm_cost.mean());
+  EXPECT_DOUBLE_EQ(sequential.max_load.variance(),
+                   parallel.max_load.variance());
+}
+
+TEST(Experiment, RatesAreFractions) {
+  ExperimentConfig config = base_config();
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 1;  // tiny radius provokes fallbacks
+  const ExperimentResult result = run_experiment(config, 4);
+  EXPECT_GE(result.fallback_rate, 0.0);
+  EXPECT_GE(result.resample_rate, 0.0);
+  EXPECT_EQ(result.drop_rate, 0.0);
+}
+
+TEST(Experiment, SeedChangesResults) {
+  ExperimentConfig a = base_config();
+  ExperimentConfig b = base_config();
+  b.seed = 8;
+  const ExperimentResult ra = run_experiment(a, 5);
+  const ExperimentResult rb = run_experiment(b, 5);
+  EXPECT_NE(ra.comm_cost.mean(), rb.comm_cost.mean());
+}
+
+TEST(Experiment, RequiresAtLeastOneRun) {
+  EXPECT_THROW(run_experiment(base_config(), 0), std::invalid_argument);
+}
+
+TEST(Experiment, MoreRunsShrinkStandardError) {
+  const ExperimentConfig config = base_config();
+  const ExperimentResult few = run_experiment(config, 4);
+  const ExperimentResult many = run_experiment(config, 32);
+  EXPECT_LT(many.comm_cost.standard_error(),
+            few.comm_cost.standard_error() + 1e-9);
+}
+
+}  // namespace
+}  // namespace proxcache

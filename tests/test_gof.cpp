@@ -1,0 +1,87 @@
+// Tests for stats/gof: chi-square statistic identities and the incomplete
+// gamma based survival function against textbook values.
+#include "stats/gof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/rng.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(ChiSquareStatistic, HandComputed) {
+  // observed {8, 12}, expected {0.5, 0.5} of 20: stat = (8-10)²/10 * 2 = 0.8
+  const double stat = chi_square_statistic({8, 12}, {0.5, 0.5});
+  EXPECT_NEAR(stat, 0.8, 1e-12);
+}
+
+TEST(ChiSquareStatistic, PerfectFitIsZero) {
+  EXPECT_NEAR(chi_square_statistic({25, 25, 50}, {0.25, 0.25, 0.5}), 0.0,
+              1e-12);
+}
+
+TEST(ChiSquareStatistic, ZeroProbabilityCategoryMustBeEmpty) {
+  EXPECT_NO_THROW(chi_square_statistic({5, 0}, {1.0, 0.0}));
+  EXPECT_THROW(chi_square_statistic({5, 1}, {1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquareStatistic, RejectsMismatchedSizes) {
+  EXPECT_THROW(chi_square_statistic({1, 2}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(chi_square_statistic({}, {}), std::invalid_argument);
+  EXPECT_THROW(chi_square_statistic({0, 0}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(RegularizedGammaQ, EdgeCases) {
+  EXPECT_NEAR(regularized_gamma_q(1.0, 0.0), 1.0, 1e-12);
+  // Q(1, x) = exp(-x) exactly.
+  EXPECT_NEAR(regularized_gamma_q(1.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(regularized_gamma_q(1.0, 0.5), std::exp(-0.5), 1e-10);
+  EXPECT_THROW(regularized_gamma_q(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_q(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareSf, TextbookCriticalValues) {
+  // P(X² >= 3.841 | dof=1) ≈ 0.05, P(X² >= 6.635 | dof=1) ≈ 0.01.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 0.002);
+  EXPECT_NEAR(chi_square_sf(6.635, 1), 0.01, 0.001);
+  // dof=2: sf(x) = exp(-x/2); at 5.991 → 0.05.
+  EXPECT_NEAR(chi_square_sf(5.991, 2), 0.05, 0.002);
+  // dof=10: P(X² >= 18.307) ≈ 0.05.
+  EXPECT_NEAR(chi_square_sf(18.307, 10), 0.05, 0.002);
+}
+
+TEST(ChiSquareSf, MonotoneInStat) {
+  double last = 1.0;
+  for (double stat = 0.0; stat < 30.0; stat += 3.0) {
+    const double sf = chi_square_sf(stat, 5);
+    EXPECT_LE(sf, last + 1e-12);
+    last = sf;
+  }
+}
+
+TEST(ChiSquarePvalue, UniformSampleLooksUniform) {
+  Rng rng(12);
+  std::vector<std::uint64_t> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[rng.below(8)];
+  EXPECT_GT(chi_square_pvalue(counts, std::vector<double>(8, 0.125)), 1e-3);
+}
+
+TEST(ChiSquarePvalue, BiasedSampleIsRejected) {
+  // Grossly biased counts against a uniform hypothesis.
+  const std::vector<std::uint64_t> counts = {1000, 10, 10, 10};
+  EXPECT_LT(chi_square_pvalue(counts, std::vector<double>(4, 0.25)), 1e-6);
+}
+
+TEST(ChiSquarePvalue, ExtraConstraintsReduceDof) {
+  const std::vector<std::uint64_t> counts = {40, 60};
+  EXPECT_NO_THROW(chi_square_pvalue(counts, {0.5, 0.5}, 0));
+  EXPECT_THROW(chi_square_pvalue(counts, {0.5, 0.5}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,100 @@
+// Tests for catalog/goodness: census correctness against brute force and the
+// Lemma 2 behaviour of proportional placement.
+#include "catalog/goodness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace proxcache {
+namespace {
+
+Placement make(std::size_t n, std::size_t k, std::size_t m,
+               std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return Placement::generate(n, Popularity::uniform(k), m,
+                             PlacementMode::ProportionalWithReplacement, rng);
+}
+
+TEST(Goodness, DistinctCountsMatchPlacement) {
+  const Placement placement = make(50, 30, 6);
+  const auto counts = distinct_counts(placement);
+  ASSERT_EQ(counts.size(), 50u);
+  for (NodeId u = 0; u < 50; ++u) {
+    EXPECT_EQ(counts[u], placement.distinct_count(u));
+  }
+}
+
+TEST(Goodness, ExactCensusMatchesBruteForce) {
+  const Placement placement = make(40, 15, 5);
+  const GoodnessReport report = goodness_census(placement);
+
+  std::size_t min_t = placement.distinct_count(0);
+  std::size_t max_t = min_t;
+  double sum_t = 0.0;
+  for (NodeId u = 0; u < 40; ++u) {
+    const std::size_t t = placement.distinct_count(u);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+    sum_t += static_cast<double>(t);
+  }
+  EXPECT_EQ(report.min_distinct, min_t);
+  EXPECT_EQ(report.max_distinct, max_t);
+  EXPECT_NEAR(report.mean_distinct, sum_t / 40.0, 1e-12);
+
+  std::size_t max_overlap = 0;
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      max_overlap = std::max(max_overlap, placement.overlap(u, v));
+    }
+  }
+  EXPECT_EQ(report.max_overlap, max_overlap);
+}
+
+TEST(Goodness, SampledCensusNeverExceedsExact) {
+  const Placement placement = make(60, 20, 4);
+  const GoodnessReport exact = goodness_census(placement);
+  Rng rng(9);
+  const GoodnessReport sampled = goodness_census_sampled(placement, 500, rng);
+  EXPECT_LE(sampled.max_overlap, exact.max_overlap);
+  EXPECT_EQ(sampled.min_distinct, exact.min_distinct);
+  EXPECT_EQ(sampled.pairs_examined, 500u);
+}
+
+TEST(Goodness, IsGoodThresholds) {
+  GoodnessReport report;
+  report.min_distinct = 8;
+  report.max_overlap = 2;
+  EXPECT_TRUE(report.is_good(0.5, 3, 16));   // 8 >= 0.5*16, 2 < 3
+  EXPECT_FALSE(report.is_good(0.6, 3, 16));  // 8 < 9.6
+  EXPECT_FALSE(report.is_good(0.5, 2, 16));  // 2 !< 2
+}
+
+TEST(Goodness, Lemma2RegimeIsGoodInPractice) {
+  // K = n = 900, M = n^0.4 ≈ 15: Lemma 2 predicts t(u) >= δM with
+  // δ = (1-α)/3 = 0.2 and small pairwise overlap (µ = O(1)).
+  const std::size_t n = 900;
+  const auto m = static_cast<std::size_t>(std::pow(n, 0.4));
+  const Placement placement = make(n, n, m, 1234);
+  const GoodnessReport report = goodness_census(placement);
+  EXPECT_GE(static_cast<double>(report.min_distinct), 0.2 * static_cast<double>(m));
+  EXPECT_LT(report.max_overlap, 5u);  // µ >= 5/(1-2α) would allow more; tight in practice
+}
+
+TEST(Goodness, FullReplicationHasFullOverlap) {
+  // M >> K log K: every node caches (nearly) everything, overlap ≈ K.
+  const Placement placement = make(10, 5, 200);
+  const GoodnessReport report = goodness_census(placement);
+  EXPECT_EQ(report.min_distinct, 5u);
+  EXPECT_EQ(report.max_overlap, 5u);
+}
+
+TEST(Goodness, SampledRequiresTwoNodes) {
+  const Placement placement = make(1, 5, 2);
+  Rng rng(3);
+  EXPECT_THROW(goodness_census_sampled(placement, 10, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

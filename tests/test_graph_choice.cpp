@@ -1,0 +1,119 @@
+// Tests for ballsbins/graph_choice: the Kenthapadi–Panigrahy process on
+// dense vs sparse graphs, weighted edge sampling, and the convenience
+// constructions.
+#include "ballsbins/graph_choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ballsbins/processes.hpp"
+#include "stats/summary.hpp"
+
+namespace proxcache::ballsbins {
+namespace {
+
+TEST(GraphChoice, ConservesBalls) {
+  Rng rng(1);
+  const EdgeList edges = complete_graph_edges(16);
+  const GraphAllocationResult result = graph_choice(16, edges, 160, rng);
+  std::uint64_t total = 0;
+  for (const Load l : result.loads) total += l;
+  EXPECT_EQ(total, 160u);
+}
+
+TEST(GraphChoice, CompleteGraphMatchesClassicalTwoChoice) {
+  // On K_n, picking a random edge = picking two distinct uniform bins.
+  Summary graph;
+  Summary classic;
+  const EdgeList edges = complete_graph_edges(256);
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    Rng rng_a(10 + s);
+    Rng rng_b(10 + s);
+    graph.add(graph_choice(256, edges, 256, rng_a).max_load);
+    classic.add(d_choice(256, 256, 2, rng_b).max_load);
+  }
+  EXPECT_NEAR(graph.mean(), classic.mean(), 0.5);
+}
+
+TEST(GraphChoice, CycleIsWorseThanCompleteGraph) {
+  // Sparse graphs lose the power of two choices (the paper's Theorem 5
+  // dichotomy). The cycle's max load exceeds the complete graph's.
+  Summary cycle;
+  Summary complete;
+  const EdgeList cycle_edges = cycle_graph_edges(1024);
+  const EdgeList complete_edges = complete_graph_edges(256);
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    Rng rng_a(30 + s);
+    Rng rng_b(30 + s);
+    cycle.add(graph_choice(1024, cycle_edges, 1024, rng_a).max_load);
+    complete.add(graph_choice(256, complete_edges, 256, rng_b).max_load);
+  }
+  EXPECT_GT(cycle.mean(), complete.mean());
+}
+
+TEST(GraphChoice, BallsOnlyLandOnEdgeEndpoints) {
+  Rng rng(2);
+  // Star-ish graph: balls can only land on {0, 1, 2}.
+  const EdgeList edges = {{0, 1}, {0, 2}};
+  const GraphAllocationResult result = graph_choice(10, edges, 100, rng);
+  for (std::uint32_t v = 3; v < 10; ++v) EXPECT_EQ(result.loads[v], 0u);
+  EXPECT_EQ(result.loads[0] + result.loads[1] + result.loads[2], 100u);
+}
+
+TEST(GraphChoice, LesserLoadedEndpointWins) {
+  Rng rng(3);
+  // Single edge: loads must stay within 1 of each other at all times.
+  const EdgeList edges = {{0, 1}};
+  const GraphAllocationResult result = graph_choice(2, edges, 101, rng);
+  const auto a = result.loads[0];
+  const auto b = result.loads[1];
+  EXPECT_EQ(a + b, 101u);
+  EXPECT_LE(a > b ? a - b : b - a, 1u);
+}
+
+TEST(GraphChoiceWeighted, ZeroWeightEdgesNeverSampled) {
+  Rng rng(4);
+  const EdgeList edges = {{0, 1}, {2, 3}};
+  const std::vector<double> weights = {1.0, 0.0};
+  const GraphAllocationResult result =
+      graph_choice_weighted(4, edges, weights, 50, rng);
+  EXPECT_EQ(result.loads[2], 0u);
+  EXPECT_EQ(result.loads[3], 0u);
+  EXPECT_EQ(result.loads[0] + result.loads[1], 50u);
+}
+
+TEST(GraphChoiceWeighted, RequiresMatchingWeights) {
+  Rng rng(5);
+  const EdgeList edges = {{0, 1}};
+  EXPECT_THROW(graph_choice_weighted(2, edges, {1.0, 2.0}, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(GraphChoice, RejectsBadInput) {
+  Rng rng(6);
+  EXPECT_THROW(graph_choice(4, {}, 10, rng), std::invalid_argument);
+  EXPECT_THROW(graph_choice(2, {{0, 5}}, 10, rng), std::invalid_argument);
+}
+
+TEST(ConvenienceGraphs, CompleteGraphShape) {
+  const EdgeList edges = complete_graph_edges(5);
+  EXPECT_EQ(edges.size(), 10u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> unique(edges.begin(),
+                                                           edges.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(ConvenienceGraphs, CycleGraphShape) {
+  const EdgeList edges = cycle_graph_edges(6);
+  EXPECT_EQ(edges.size(), 6u);
+  std::vector<int> degree(6, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  for (const int d : degree) EXPECT_EQ(d, 2);
+}
+
+}  // namespace
+}  // namespace proxcache::ballsbins

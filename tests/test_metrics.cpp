@@ -1,0 +1,95 @@
+// Tests for core/metrics: accounting identities of LoadTracker and the
+// LoadView polymorphism the strategies rely on.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace proxcache {
+namespace {
+
+TEST(LoadTracker, StartsEmpty) {
+  const LoadTracker tracker(5);
+  EXPECT_EQ(tracker.max_load(), 0u);
+  EXPECT_EQ(tracker.assigned(), 0u);
+  EXPECT_EQ(tracker.comm_cost(), 0.0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(tracker.load(u), 0u);
+}
+
+TEST(LoadTracker, AssignUpdatesAllCounters) {
+  LoadTracker tracker(4);
+  tracker.assign(2, 3);
+  tracker.assign(2, 5);
+  tracker.assign(0, 0);
+  EXPECT_EQ(tracker.load(2), 2u);
+  EXPECT_EQ(tracker.load(0), 1u);
+  EXPECT_EQ(tracker.max_load(), 2u);
+  EXPECT_EQ(tracker.assigned(), 3u);
+  EXPECT_EQ(tracker.total_hops(), 8u);
+  EXPECT_NEAR(tracker.comm_cost(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(LoadTracker, SumOfLoadsEqualsAssigned) {
+  LoadTracker tracker(10);
+  for (int i = 0; i < 137; ++i) {
+    tracker.assign(static_cast<NodeId>(i % 10), 1);
+  }
+  std::uint64_t sum = 0;
+  for (const Load l : tracker.loads()) sum += l;
+  EXPECT_EQ(sum, tracker.assigned());
+  EXPECT_EQ(sum, 137u);
+}
+
+TEST(LoadTracker, DropAndFallbackCounters) {
+  LoadTracker tracker(3);
+  tracker.drop();
+  tracker.drop();
+  tracker.note_fallback();
+  EXPECT_EQ(tracker.dropped(), 2u);
+  EXPECT_EQ(tracker.fallbacks(), 1u);
+  EXPECT_EQ(tracker.assigned(), 0u);
+}
+
+TEST(LoadTracker, HistogramCountsServersByLoad) {
+  LoadTracker tracker(6);
+  tracker.assign(0, 1);
+  tracker.assign(0, 1);
+  tracker.assign(1, 1);
+  const Histogram histogram = tracker.load_histogram();
+  EXPECT_EQ(histogram.total(), 6u);       // six servers
+  EXPECT_EQ(histogram.at(0), 4u);         // four untouched
+  EXPECT_EQ(histogram.at(1), 1u);
+  EXPECT_EQ(histogram.at(2), 1u);
+  EXPECT_EQ(histogram.max_value(), 2u);
+}
+
+TEST(LoadTracker, RejectsBadIds) {
+  LoadTracker tracker(2);
+  EXPECT_THROW(tracker.assign(2, 0), std::invalid_argument);
+  EXPECT_THROW(LoadTracker(0), std::invalid_argument);
+}
+
+TEST(LoadView, PolymorphicReadThroughBase) {
+  LoadTracker tracker(3);
+  tracker.assign(1, 0);
+  const LoadView& view = tracker;
+  EXPECT_EQ(view.load(0), 0u);
+  EXPECT_EQ(view.load(1), 1u);
+}
+
+namespace {
+class FakeView final : public LoadView {
+ public:
+  [[nodiscard]] Load load(NodeId server) const override {
+    return server * 10;
+  }
+};
+}  // namespace
+
+TEST(LoadView, CustomImplementationsPlugIn) {
+  const FakeView view;
+  const LoadView& base = view;
+  EXPECT_EQ(base.load(3), 30u);
+}
+
+}  // namespace
+}  // namespace proxcache

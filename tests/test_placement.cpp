@@ -1,0 +1,205 @@
+// Tests for catalog/placement: structural invariants (sorted distinct CSR,
+// replica-list/node-list duality), distributional marginals, and the
+// distinct-mode ablation.
+#include "catalog/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace proxcache {
+namespace {
+
+Placement make(std::size_t n, std::size_t k, std::size_t m,
+               PlacementMode mode = PlacementMode::ProportionalWithReplacement,
+               std::uint64_t seed = 11) {
+  Rng rng(seed);
+  return Placement::generate(n, Popularity::uniform(k), m, mode, rng);
+}
+
+TEST(Placement, ModeParsing) {
+  EXPECT_EQ(placement_mode_from_string("replacement"),
+            PlacementMode::ProportionalWithReplacement);
+  EXPECT_EQ(placement_mode_from_string("distinct"),
+            PlacementMode::DistinctProportional);
+  EXPECT_THROW(placement_mode_from_string("x"), std::invalid_argument);
+}
+
+TEST(Placement, NodeListsAreSortedDistinctAndBounded) {
+  const Placement placement = make(100, 50, 8);
+  for (NodeId u = 0; u < 100; ++u) {
+    const auto files = placement.files_of(u);
+    EXPECT_GE(files.size(), 1u);
+    EXPECT_LE(files.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+    EXPECT_EQ(std::adjacent_find(files.begin(), files.end()), files.end());
+    for (const FileId j : files) EXPECT_LT(j, 50u);
+  }
+}
+
+TEST(Placement, ReplicaListsAreTheExactInverse) {
+  const Placement placement = make(64, 30, 5);
+  // node -> file implies file -> node and vice versa.
+  for (NodeId u = 0; u < 64; ++u) {
+    for (const FileId j : placement.files_of(u)) {
+      const auto replicas = placement.replicas(j);
+      EXPECT_TRUE(std::binary_search(replicas.begin(), replicas.end(), u));
+    }
+  }
+  std::size_t total_from_replicas = 0;
+  for (FileId j = 0; j < 30; ++j) {
+    const auto replicas = placement.replicas(j);
+    EXPECT_TRUE(std::is_sorted(replicas.begin(), replicas.end()));
+    total_from_replicas += replicas.size();
+    for (const NodeId u : replicas) EXPECT_TRUE(placement.caches(u, j));
+  }
+  std::size_t total_from_nodes = 0;
+  for (NodeId u = 0; u < 64; ++u) total_from_nodes += placement.distinct_count(u);
+  EXPECT_EQ(total_from_nodes, total_from_replicas);
+}
+
+TEST(Placement, CachesAgreesWithFileLists) {
+  const Placement placement = make(40, 20, 3);
+  for (NodeId u = 0; u < 40; ++u) {
+    const auto files = placement.files_of(u);
+    for (FileId j = 0; j < 20; ++j) {
+      const bool expected =
+          std::find(files.begin(), files.end(), j) != files.end();
+      EXPECT_EQ(placement.caches(u, j), expected);
+    }
+  }
+}
+
+TEST(Placement, DeterministicGivenSeed) {
+  const Placement a = make(50, 25, 4, PlacementMode::ProportionalWithReplacement, 7);
+  const Placement b = make(50, 25, 4, PlacementMode::ProportionalWithReplacement, 7);
+  const Placement c = make(50, 25, 4, PlacementMode::ProportionalWithReplacement, 8);
+  bool all_same_ab = true;
+  bool any_diff_ac = false;
+  for (NodeId u = 0; u < 50; ++u) {
+    const auto fa = a.files_of(u);
+    const auto fb = b.files_of(u);
+    const auto fc = c.files_of(u);
+    if (!std::equal(fa.begin(), fa.end(), fb.begin(), fb.end())) {
+      all_same_ab = false;
+    }
+    if (!std::equal(fa.begin(), fa.end(), fc.begin(), fc.end())) {
+      any_diff_ac = true;
+    }
+  }
+  EXPECT_TRUE(all_same_ab);
+  EXPECT_TRUE(any_diff_ac);
+}
+
+TEST(Placement, WithReplacementMarginalMatchesTheory) {
+  // P(node caches file j) = 1 - (1 - 1/K)^M under uniform popularity.
+  const std::size_t n = 4000;
+  const std::size_t k = 20;
+  const std::size_t m = 5;
+  const Placement placement = make(n, k, m, PlacementMode::ProportionalWithReplacement, 21);
+  const double q = 1.0 - std::pow(1.0 - 1.0 / static_cast<double>(k),
+                                  static_cast<double>(m));
+  for (FileId j = 0; j < k; ++j) {
+    const double fraction = static_cast<double>(placement.replica_count(j)) /
+                            static_cast<double>(n);
+    // 4 sigma tolerance: sigma = sqrt(q(1-q)/n) ≈ 0.0066.
+    EXPECT_NEAR(fraction, q, 4.0 * std::sqrt(q * (1 - q) / n))
+        << "file " << j;
+  }
+}
+
+TEST(Placement, DistinctModeGivesExactlyM) {
+  const Placement placement = make(80, 40, 6, PlacementMode::DistinctProportional);
+  for (NodeId u = 0; u < 80; ++u) {
+    EXPECT_EQ(placement.distinct_count(u), 6u);
+  }
+}
+
+TEST(Placement, DistinctModeCachesWholeLibraryWhenMGeK) {
+  const Placement placement = make(10, 4, 9, PlacementMode::DistinctProportional);
+  for (NodeId u = 0; u < 10; ++u) {
+    EXPECT_EQ(placement.distinct_count(u), 4u);
+    for (FileId j = 0; j < 4; ++j) EXPECT_TRUE(placement.caches(u, j));
+  }
+  EXPECT_EQ(placement.files_with_replicas(), 4u);
+}
+
+TEST(Placement, FullLibraryModeMK) {
+  // M = K with replacement: every node holds a large subset; with distinct
+  // mode it holds everything (Example 1 substrate).
+  const Placement placement = make(25, 12, 12, PlacementMode::DistinctProportional);
+  for (NodeId u = 0; u < 25; ++u) {
+    EXPECT_EQ(placement.distinct_count(u), 12u);
+  }
+}
+
+TEST(Placement, FilesWithReplicasCountsSupport) {
+  const Placement placement = make(9, 2000, 1);
+  // 9 draws over 2000 files: at most 9 distinct files cached.
+  EXPECT_LE(placement.files_with_replicas(), 9u);
+  EXPECT_GE(placement.files_with_replicas(), 1u);
+}
+
+TEST(Placement, OverlapMatchesBruteForce) {
+  const Placement placement = make(30, 10, 4, PlacementMode::ProportionalWithReplacement, 3);
+  for (NodeId u = 0; u < 30; u += 3) {
+    for (NodeId v = 0; v < 30; v += 4) {
+      const auto a = placement.files_of(u);
+      std::size_t brute = 0;
+      for (const FileId j : a) {
+        if (placement.caches(v, j)) ++brute;
+      }
+      EXPECT_EQ(placement.overlap(u, v), brute);
+      EXPECT_EQ(placement.overlap(v, u), brute);
+    }
+  }
+}
+
+TEST(Placement, DistinctModeHandlesHeavySkewNearFullLibrary) {
+  // M = K - 1 under Zipf(2.5): a rejection sampler would stall waiting for
+  // the tail files; Efraimidis–Spirakis finishes instantly and still
+  // returns M distinct files.
+  Rng rng(31);
+  const Placement placement = Placement::generate(
+      20, Popularity::zipf(50, 2.5), 49, PlacementMode::DistinctProportional,
+      rng);
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(placement.distinct_count(u), 49u);
+  }
+}
+
+TEST(Placement, DistinctModeMarginalsFavorPopularFiles) {
+  // With M distinct slots the inclusion probability must still increase
+  // with popularity (exact marginals are complex; ordering must hold).
+  Rng rng(32);
+  const Placement placement = Placement::generate(
+      3000, Popularity::zipf(30, 1.5), 5, PlacementMode::DistinctProportional,
+      rng);
+  EXPECT_GT(placement.replica_count(0), placement.replica_count(10));
+  EXPECT_GT(placement.replica_count(10), placement.replica_count(29));
+}
+
+TEST(Placement, ZipfPlacementSkewsTowardPopularFiles) {
+  Rng rng(77);
+  const Placement placement = Placement::generate(
+      2000, Popularity::zipf(100, 1.2), 3,
+      PlacementMode::ProportionalWithReplacement, rng);
+  // Rank-1 file should have many more replicas than rank-100.
+  EXPECT_GT(placement.replica_count(0), 4 * placement.replica_count(99));
+}
+
+TEST(Placement, RejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(Placement::generate(0, Popularity::uniform(5), 1,
+                                   PlacementMode::ProportionalWithReplacement,
+                                   rng),
+               std::invalid_argument);
+  EXPECT_THROW(Placement::generate(5, Popularity::uniform(5), 0,
+                                   PlacementMode::ProportionalWithReplacement,
+                                   rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,113 @@
+// Tests for the queueing extension: M/M/1 ground truth, stability,
+// utilization, and the JSQ(2) advantage the paper's §VI conjectures.
+#include "queueing/supermarket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace proxcache {
+namespace {
+
+QueueingConfig base_config() {
+  QueueingConfig config;
+  config.network.num_nodes = 100;
+  config.network.num_files = 20;
+  config.network.cache_size = 5;
+  config.network.seed = 5;
+  config.network.strategy.kind = StrategyKind::TwoChoice;
+  config.arrival_rate = 0.5;
+  config.service_rate = 1.0;
+  config.horizon = 300.0;
+  config.warmup_fraction = 0.25;
+  return config;
+}
+
+TEST(Supermarket, MM1SojournMatchesTheory) {
+  // Single server, single file: pure M/M/1 with λ=0.5, μ=1 → E[T] = 2.
+  QueueingConfig config;
+  config.network.num_nodes = 1;
+  config.network.num_files = 1;
+  config.network.cache_size = 1;
+  config.network.strategy.kind = StrategyKind::NearestReplica;
+  config.arrival_rate = 0.5;
+  config.service_rate = 1.0;
+  config.horizon = 20000.0;
+  config.warmup_fraction = 0.2;
+  const QueueingResult result = run_supermarket(config, 1);
+  EXPECT_GT(result.completed, 5000u);
+  EXPECT_NEAR(result.mean_sojourn, 2.0, 0.3);
+  EXPECT_NEAR(result.utilization, 0.5, 0.05);
+  // Little's law: E[N] = λ E[T] (per the single server).
+  EXPECT_NEAR(result.mean_queue, config.arrival_rate * result.mean_sojourn,
+              0.3);
+}
+
+TEST(Supermarket, StableSystemHasModestQueues) {
+  const QueueingResult result = run_supermarket(base_config(), 2);
+  EXPECT_GT(result.completed, 1000u);
+  EXPECT_LT(result.mean_queue, 5.0);
+  EXPECT_NEAR(result.utilization, 0.5, 0.12);
+}
+
+TEST(Supermarket, DeterministicInSeed) {
+  const QueueingConfig config = base_config();
+  const QueueingResult a = run_supermarket(config, 3);
+  const QueueingResult b = run_supermarket(config, 3);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_sojourn, b.mean_sojourn);
+  const QueueingResult c = run_supermarket(config, 4);
+  EXPECT_NE(a.completed, c.completed);
+}
+
+TEST(Supermarket, TwoChoiceBeatsOneChoiceUnderLoad) {
+  // At high utilization JSQ(2) shortens queues vs a single random choice —
+  // the supermarket-model phenomenon the paper invokes.
+  QueueingConfig two = base_config();
+  two.arrival_rate = 0.9;
+  two.horizon = 1500.0;
+  QueueingConfig one = two;
+  one.network.strategy.num_choices = 1;
+  double two_q = 0.0;
+  double one_q = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    two_q += run_supermarket(two, 10 + s).mean_queue;
+    one_q += run_supermarket(one, 10 + s).mean_queue;
+  }
+  EXPECT_LT(two_q, one_q);
+}
+
+TEST(Supermarket, ProximityRadiusBoundsHops) {
+  QueueingConfig config = base_config();
+  config.network.strategy.radius = 3;
+  const QueueingResult result = run_supermarket(config, 7);
+  EXPECT_LE(result.mean_hops, 4.0);  // fallbacks may exceed r occasionally
+  EXPECT_GT(result.completed, 100u);
+}
+
+TEST(Supermarket, HigherLoadLongerQueues) {
+  QueueingConfig light = base_config();
+  light.arrival_rate = 0.3;
+  QueueingConfig heavy = base_config();
+  heavy.arrival_rate = 0.9;
+  const QueueingResult l = run_supermarket(light, 8);
+  const QueueingResult h = run_supermarket(heavy, 8);
+  EXPECT_LT(l.mean_queue, h.mean_queue);
+  EXPECT_LT(l.utilization, h.utilization);
+}
+
+TEST(Supermarket, ValidatesParameters) {
+  QueueingConfig config = base_config();
+  config.arrival_rate = 0.0;
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+  config = base_config();
+  config.service_rate = -1.0;
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+  config = base_config();
+  config.horizon = 0.0;
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+  config = base_config();
+  config.warmup_fraction = 1.0;
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,196 @@
+// Tests for spatial/replica_index: the two nearest-replica algorithms must
+// agree with each other and with brute force (distance and tie count), and
+// radius streams must match the distance predicate with and without bucket
+// grids.
+#include "spatial/replica_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace proxcache {
+namespace {
+
+struct Fixture {
+  Fixture(std::size_t n, std::size_t k, std::size_t m, Wrap wrap,
+          std::uint64_t seed, std::size_t bucket_threshold = 512)
+      : lattice(Lattice::from_node_count(n, wrap)),
+        placement([&] {
+          Rng rng(seed);
+          return Placement::generate(
+              n, Popularity::uniform(k), m,
+              PlacementMode::ProportionalWithReplacement, rng);
+        }()),
+        index(lattice, placement, bucket_threshold) {}
+
+  Lattice lattice;
+  Placement placement;
+  ReplicaIndex index;
+};
+
+struct BruteNearest {
+  Hop distance = 0;
+  std::uint32_t ties = 0;
+  bool found = false;
+};
+
+BruteNearest brute_nearest(const Fixture& f, NodeId u, FileId j) {
+  BruteNearest result;
+  Hop best = f.lattice.diameter() + 1;
+  for (const NodeId v : f.placement.replicas(j)) {
+    const Hop d = f.lattice.distance(u, v);
+    if (d < best) {
+      best = d;
+      result.ties = 1;
+    } else if (d == best) {
+      ++result.ties;
+    }
+  }
+  if (result.ties > 0) {
+    result.found = true;
+    result.distance = best;
+  }
+  return result;
+}
+
+class ReplicaIndexParamTest
+    : public ::testing::TestWithParam<std::tuple<Wrap, int>> {};
+
+TEST_P(ReplicaIndexParamTest, BothAlgorithmsMatchBruteForce) {
+  const auto [wrap, m] = GetParam();
+  Fixture f(49, 12, static_cast<std::size_t>(m), wrap, 77);
+  Rng rng(1);
+  for (NodeId u = 0; u < f.lattice.size(); u += 5) {
+    for (FileId j = 0; j < 12; ++j) {
+      const BruteNearest expected = brute_nearest(f, u, j);
+      const NearestResult by_scan = f.index.nearest_by_scan(u, j, rng);
+      const NearestResult by_shells = f.index.nearest_by_shells(u, j, rng);
+      const NearestResult automatic = f.index.nearest(u, j, rng);
+      if (!expected.found) {
+        EXPECT_EQ(by_scan.server, kInvalidNode);
+        EXPECT_EQ(by_shells.server, kInvalidNode);
+        EXPECT_EQ(automatic.server, kInvalidNode);
+        continue;
+      }
+      for (const NearestResult& result : {by_scan, by_shells, automatic}) {
+        ASSERT_NE(result.server, kInvalidNode);
+        EXPECT_EQ(result.distance, expected.distance);
+        EXPECT_EQ(result.ties, expected.ties);
+        EXPECT_TRUE(f.placement.caches(result.server, j));
+        EXPECT_EQ(f.lattice.distance(u, result.server), expected.distance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WrapAndCache, ReplicaIndexParamTest,
+    ::testing::Combine(::testing::Values(Wrap::Torus, Wrap::Grid),
+                       ::testing::Values(1, 3, 8)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_M" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReplicaIndex, TieBreakingIsUniformAcrossReplicas) {
+  // Symmetric layout: two replicas equidistant from the requester.
+  // Build a placement where file 0 sits at distance 2 both left and right.
+  Fixture f(25, 4, 2, Wrap::Torus, 123);
+  // Find a (u, j) with >= 2 ties; then sample many times.
+  Rng scan_rng(5);
+  for (NodeId u = 0; u < 25; ++u) {
+    for (FileId j = 0; j < 4; ++j) {
+      const NearestResult probe = f.index.nearest_by_scan(u, j, scan_rng);
+      if (probe.server == kInvalidNode || probe.ties < 2) continue;
+      std::map<NodeId, int> histogram;
+      Rng rng(9);
+      constexpr int kTrials = 4000;
+      for (int t = 0; t < kTrials; ++t) {
+        histogram[f.index.nearest_by_scan(u, j, rng).server]++;
+      }
+      EXPECT_EQ(histogram.size(), probe.ties);
+      for (const auto& [server, count] : histogram) {
+        EXPECT_NEAR(static_cast<double>(count) / kTrials,
+                    1.0 / probe.ties, 0.05)
+            << "server " << server;
+      }
+      return;  // one verified case suffices
+    }
+  }
+  GTEST_SKIP() << "no tie found in this placement (unexpected)";
+}
+
+TEST(ReplicaIndex, RadiusStreamMatchesPredicateWithAndWithoutBuckets) {
+  for (const std::size_t threshold : {std::size_t{0}, std::size_t{1}}) {
+    // threshold 1 forces bucket grids everywhere; 0 disables them.
+    Fixture f(100, 6, 3, Wrap::Torus, 31, threshold);
+    for (NodeId u = 0; u < 100; u += 9) {
+      for (FileId j = 0; j < 6; ++j) {
+        for (const Hop r : {0u, 1u, 3u, 6u, 10u, 100u}) {
+          std::vector<NodeId> streamed;
+          f.index.for_each_replica_within(u, j, r, [&](NodeId v, Hop d) {
+            EXPECT_EQ(d, f.lattice.distance(u, v));
+            EXPECT_LE(d, r);
+            streamed.push_back(v);
+          });
+          std::vector<NodeId> expected;
+          for (const NodeId v : f.placement.replicas(j)) {
+            if (f.lattice.distance(u, v) <= r) expected.push_back(v);
+          }
+          std::sort(streamed.begin(), streamed.end());
+          std::sort(expected.begin(), expected.end());
+          EXPECT_EQ(streamed, expected)
+              << "threshold=" << threshold << " u=" << u << " j=" << j
+              << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplicaIndex, CountMatchesStream) {
+  Fixture f(36, 5, 2, Wrap::Grid, 8);
+  for (NodeId u = 0; u < 36; u += 7) {
+    for (FileId j = 0; j < 5; ++j) {
+      for (const Hop r : {0u, 2u, 5u, 50u}) {
+        std::size_t streamed = 0;
+        f.index.for_each_replica_within(u, j, r,
+                                        [&](NodeId, Hop) { ++streamed; });
+        EXPECT_EQ(f.index.count_replicas_within(u, j, r), streamed);
+      }
+    }
+  }
+}
+
+TEST(ReplicaIndex, UnboundedRadiusStreamsWholeReplicaList) {
+  Fixture f(49, 8, 4, Wrap::Torus, 55);
+  for (FileId j = 0; j < 8; ++j) {
+    std::size_t streamed = 0;
+    f.index.for_each_replica_within(3, j, kUnboundedRadius,
+                                    [&](NodeId, Hop) { ++streamed; });
+    EXPECT_EQ(streamed, f.placement.replica_count(j));
+  }
+}
+
+TEST(ReplicaIndex, BucketGridsBuiltOnlyAboveThreshold) {
+  Fixture f(400, 4, 3, Wrap::Torus, 2, /*bucket_threshold=*/100);
+  for (FileId j = 0; j < 4; ++j) {
+    EXPECT_EQ(f.index.has_bucket_grid(j),
+              f.placement.replica_count(j) >= 100)
+        << "file " << j << " has " << f.placement.replica_count(j);
+  }
+}
+
+TEST(ReplicaIndex, MismatchedSizesRejected) {
+  const Lattice lattice(5, Wrap::Torus);
+  Rng rng(1);
+  const Placement placement = Placement::generate(
+      16, Popularity::uniform(4), 2,
+      PlacementMode::ProportionalWithReplacement, rng);
+  EXPECT_THROW(ReplicaIndex(lattice, placement), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

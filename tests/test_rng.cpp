@@ -1,0 +1,200 @@
+// Tests for the RNG substrate: determinism, bound correctness, unbiasedness
+// (chi-square), pair sampling and child-stream independence.
+#include "random/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "random/seeding.hpp"
+#include "random/splitmix64.hpp"
+#include "random/xoshiro256.hpp"
+#include "stats/gof.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values for seed 0 (published SplitMix64 test vector).
+  std::uint64_t state = 0;
+  EXPECT_EQ(rng::splitmix64_next(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(rng::splitmix64_next(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(rng::splitmix64_next(state), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(rng::mix64(42), rng::mix64(42));
+  EXPECT_NE(rng::mix64(42), rng::mix64(43));
+  // Consecutive inputs should differ in many bits (avalanche smoke check).
+  const std::uint64_t x = rng::mix64(1000) ^ rng::mix64(1001);
+  EXPECT_GE(__builtin_popcountll(x), 16);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  rng::Xoshiro256 a(7);
+  rng::Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  rng::Xoshiro256 c(8);
+  bool all_equal = true;
+  rng::Xoshiro256 d(7);
+  for (int i = 0; i < 10; ++i) {
+    if (c() != d()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Xoshiro256, JumpChangesStream) {
+  rng::Xoshiro256 a(7);
+  rng::Xoshiro256 b(7);
+  b.jump();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a() != b()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(1);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsUnbiasedChiSquare) {
+  Rng rng(2024);
+  constexpr std::uint64_t kBound = 7;
+  constexpr int kDraws = 70000;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  const std::vector<double> expected(kBound, 1.0 / kBound);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.between(4, 4), 4);
+  EXPECT_THROW(rng.between(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, DistinctPairIsDistinctAndUniform) {
+  Rng rng(6);
+  constexpr std::uint64_t kN = 5;
+  std::vector<std::uint64_t> pair_counts(kN * kN, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [a, b] = rng.distinct_pair(kN);
+    ASSERT_NE(a, b);
+    ASSERT_LT(a, kN);
+    ASSERT_LT(b, kN);
+    ++pair_counts[a * kN + b];
+  }
+  // All ordered pairs with a != b equally likely: 20 categories.
+  std::vector<std::uint64_t> observed;
+  for (std::uint64_t a = 0; a < kN; ++a) {
+    for (std::uint64_t b = 0; b < kN; ++b) {
+      if (a == b) {
+        EXPECT_EQ(pair_counts[a * kN + b], 0u);
+      } else {
+        observed.push_back(pair_counts[a * kN + b]);
+      }
+    }
+  }
+  const std::vector<double> expected(observed.size(),
+                                     1.0 / static_cast<double>(observed.size()));
+  EXPECT_GT(chi_square_pvalue(observed, expected), 1e-4);
+  EXPECT_THROW(rng.distinct_pair(1), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(7);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ChildStreamsAreDeterministicAndDistinct) {
+  const Rng parent(99);
+  Rng child_a = parent.child(1);
+  Rng child_a2 = parent.child(1);
+  Rng child_b = parent.child(2);
+  bool same = true;
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto va = child_a.bits();
+    if (va != child_a2.bits()) same = false;
+    if (va != child_b.bits()) differs = true;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ChildrenOfDifferentParentsDiffer) {
+  Rng a = Rng(1).child(0);
+  Rng b = Rng(2).child(0);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.bits() != b.bits()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Seeding, DeriveSeedSeparatesPaths) {
+  const std::uint64_t root = 0xABCDEF;
+  EXPECT_EQ(derive_seed(root, {1, 2}), derive_seed(root, {1, 2}));
+  EXPECT_NE(derive_seed(root, {1, 2}), derive_seed(root, {2, 1}));
+  EXPECT_NE(derive_seed(root, {1}), derive_seed(root, {1, 0}));
+  EXPECT_NE(derive_seed(root, {}), derive_seed(root + 1, {}));
+}
+
+TEST(Seeding, PhaseConstantsAreDistinct) {
+  const std::set<std::uint64_t> phases = {
+      seed_phase::kPlacement, seed_phase::kTrace, seed_phase::kStrategy,
+      seed_phase::kQueueing};
+  EXPECT_EQ(phases.size(), 4u);
+}
+
+}  // namespace
+}  // namespace proxcache

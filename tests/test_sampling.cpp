@@ -1,0 +1,137 @@
+// Tests for streaming reservoir samplers: exact counts, uniformity over the
+// stream, and the small-stream edge cases Strategy II depends on.
+#include "random/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "stats/gof.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(ReservoirOne, EmptyStreamHasNoValue) {
+  Rng rng(1);
+  ReservoirOne reservoir(rng);
+  EXPECT_EQ(reservoir.count(), 0u);
+  EXPECT_FALSE(reservoir.value().has_value());
+}
+
+TEST(ReservoirOne, SingleElementIsKept) {
+  Rng rng(1);
+  ReservoirOne reservoir(rng);
+  reservoir.offer(42);
+  ASSERT_TRUE(reservoir.value().has_value());
+  EXPECT_EQ(*reservoir.value(), 42u);
+  EXPECT_EQ(reservoir.count(), 1u);
+}
+
+TEST(ReservoirOne, UniformOverStream) {
+  Rng rng(2);
+  constexpr int kStream = 6;
+  constexpr int kTrials = 60000;
+  std::vector<std::uint64_t> counts(kStream, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirOne reservoir(rng);
+    for (std::uint32_t i = 0; i < kStream; ++i) reservoir.offer(i);
+    ++counts[*reservoir.value()];
+  }
+  EXPECT_GT(chi_square_pvalue(counts,
+                              std::vector<double>(kStream, 1.0 / kStream)),
+            1e-4);
+}
+
+TEST(ReservoirPair, CountsTrackStreamLength) {
+  Rng rng(3);
+  ReservoirPair reservoir(rng);
+  EXPECT_EQ(reservoir.count(), 0u);
+  reservoir.offer(1);
+  EXPECT_EQ(reservoir.count(), 1u);
+  EXPECT_EQ(reservoir.single(), 1u);
+  reservoir.offer(2);
+  reservoir.offer(3);
+  EXPECT_EQ(reservoir.count(), 3u);
+}
+
+TEST(ReservoirPair, UniformOverUnorderedPairs) {
+  Rng rng(4);
+  constexpr std::uint32_t kStream = 5;
+  constexpr int kTrials = 100000;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> counts;
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirPair reservoir(rng);
+    for (std::uint32_t i = 0; i < kStream; ++i) reservoir.offer(i);
+    auto [a, b] = reservoir.pair();
+    if (a > b) std::swap(a, b);
+    ASSERT_NE(a, b);
+    ++counts[{a, b}];
+  }
+  ASSERT_EQ(counts.size(), 10u);  // C(5,2)
+  std::vector<std::uint64_t> observed;
+  for (const auto& [key, count] : counts) observed.push_back(count);
+  EXPECT_GT(chi_square_pvalue(observed, std::vector<double>(10, 0.1)), 1e-4);
+}
+
+TEST(ReservoirPair, PairOrderIsAlsoUniform) {
+  Rng rng(5);
+  constexpr int kTrials = 40000;
+  int first_is_zero = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirPair reservoir(rng);
+    reservoir.offer(0);
+    reservoir.offer(1);
+    first_is_zero += reservoir.pair().first == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(first_is_zero) / kTrials, 0.5, 0.02);
+}
+
+TEST(ReservoirK, RejectsBadK) {
+  Rng rng(6);
+  EXPECT_THROW(ReservoirK(rng, 0), std::invalid_argument);
+  EXPECT_THROW(ReservoirK(rng, 9), std::invalid_argument);
+}
+
+TEST(ReservoirK, ShortStreamReturnsEverything) {
+  Rng rng(7);
+  ReservoirK reservoir(rng, 4);
+  reservoir.offer(10);
+  reservoir.offer(20);
+  const auto sample = reservoir.sample();
+  ASSERT_EQ(sample.size(), 2u);
+  EXPECT_EQ(sample[0], 10u);
+  EXPECT_EQ(sample[1], 20u);
+}
+
+TEST(ReservoirK, EachElementKeptWithProbabilityKOverN) {
+  Rng rng(8);
+  constexpr std::uint32_t kStream = 10;
+  constexpr std::uint32_t kK = 3;
+  constexpr int kTrials = 60000;
+  std::vector<int> kept(kStream, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirK reservoir(rng, kK);
+    for (std::uint32_t i = 0; i < kStream; ++i) reservoir.offer(i);
+    for (const std::uint32_t v : reservoir.sample()) ++kept[v];
+  }
+  const double expected = static_cast<double>(kK) / kStream;
+  for (std::uint32_t i = 0; i < kStream; ++i) {
+    EXPECT_NEAR(static_cast<double>(kept[i]) / kTrials, expected, 0.01)
+        << "element " << i;
+  }
+}
+
+TEST(ReservoirK, SampleElementsAreDistinctPositions) {
+  Rng rng(9);
+  for (int t = 0; t < 1000; ++t) {
+    ReservoirK reservoir(rng, 2);
+    for (std::uint32_t i = 0; i < 7; ++i) reservoir.offer(100 + i);
+    const auto sample = reservoir.sample();
+    ASSERT_EQ(sample.size(), 2u);
+    EXPECT_NE(sample[0], sample[1]);
+  }
+}
+
+}  // namespace
+}  // namespace proxcache

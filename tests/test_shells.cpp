@@ -1,0 +1,95 @@
+// Tests for topology/shells: the enumerators must visit exactly the nodes at
+// the stated distance, each once, across wrap modes and awkward radii
+// (>= side/2 where wraparound would double-count a naive enumeration).
+#include "topology/shells.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace proxcache {
+namespace {
+
+class ShellEnumerationTest
+    : public ::testing::TestWithParam<std::tuple<int, Wrap>> {};
+
+TEST_P(ShellEnumerationTest, ShellMatchesDistancePredicate) {
+  const auto [side, wrap] = GetParam();
+  const Lattice lattice(side, wrap);
+  for (NodeId u = 0; u < lattice.size(); u += 2) {
+    for (Hop d = 0; d <= lattice.diameter(); ++d) {
+      const std::vector<NodeId> shell = collect_shell(lattice, u, d);
+      // No duplicates.
+      std::set<NodeId> unique(shell.begin(), shell.end());
+      EXPECT_EQ(unique.size(), shell.size())
+          << "duplicate in shell side=" << side << " u=" << u << " d=" << d;
+      // Exactly the nodes at distance d.
+      for (NodeId v = 0; v < lattice.size(); ++v) {
+        EXPECT_EQ(unique.count(v) > 0, lattice.distance(u, v) == d)
+            << "membership side=" << side << " u=" << u << " v=" << v
+            << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST_P(ShellEnumerationTest, BallVisitsEveryNodeOnceInDistanceOrder) {
+  const auto [side, wrap] = GetParam();
+  const Lattice lattice(side, wrap);
+  const NodeId u = lattice.size() / 2;
+  std::vector<NodeId> visited;
+  Hop last_distance = 0;
+  for_each_in_ball(lattice, u, lattice.diameter(), [&](NodeId v, Hop d) {
+    EXPECT_GE(d, last_distance) << "distances must be non-decreasing";
+    last_distance = d;
+    EXPECT_EQ(lattice.distance(u, v), d);
+    visited.push_back(v);
+  });
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited.size(), lattice.size());
+  EXPECT_EQ(std::adjacent_find(visited.begin(), visited.end()),
+            visited.end())
+      << "every node exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SidesAndWraps, ShellEnumerationTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8),
+                       ::testing::Values(Wrap::Torus, Wrap::Grid)),
+    [](const auto& info) {
+      return "side" + std::to_string(std::get<0>(info.param)) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(ShellEnumeration, RadiusZeroIsJustTheOrigin) {
+  const Lattice lattice(5, Wrap::Torus);
+  const std::vector<NodeId> ball = collect_ball(lattice, 7, 0);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball[0], 7u);
+}
+
+TEST(ShellEnumeration, RadiusBeyondDiameterClamps) {
+  const Lattice lattice(4, Wrap::Grid);
+  const std::vector<NodeId> ball = collect_ball(lattice, 0, 1000);
+  EXPECT_EQ(ball.size(), lattice.size());
+}
+
+TEST(ShellEnumeration, EvenTorusHalfSideShellNoDuplicates) {
+  // side=4, d=2: offsets ±2 wrap to the same node; the enumerator must not
+  // visit it twice.
+  const Lattice lattice(4, Wrap::Torus);
+  const std::vector<NodeId> shell = collect_shell(lattice, 0, 2);
+  const std::set<NodeId> unique(shell.begin(), shell.end());
+  EXPECT_EQ(unique.size(), shell.size());
+  EXPECT_EQ(shell.size(), lattice.shell_size(0, 2));
+}
+
+TEST(ShellEnumeration, SingletonLattice) {
+  const Lattice lattice(1, Wrap::Torus);
+  EXPECT_EQ(collect_ball(lattice, 0, 5).size(), 1u);
+  EXPECT_TRUE(collect_shell(lattice, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,214 @@
+// Tests for stats/summary, stats/histogram, stats/regression and
+// stats/scaling: exact identities on hand-computed data plus growth-law
+// classification of synthetic series.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/scaling.hpp"
+#include "stats/summary.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(Summary, HandComputedMoments) {
+  Summary s = Summary::of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.standard_error(), s.stddev() / std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.96 * s.standard_error(), 1e-12);
+}
+
+TEST(Summary, SingleObservation) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+}
+
+TEST(Summary, EmptyThrowsOnMean) {
+  const Summary s;
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  EXPECT_THROW(s.min(), std::invalid_argument);
+}
+
+TEST(Summary, MergeEqualsCombinedStream) {
+  Summary left;
+  Summary right;
+  Summary combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(x);
+    combined.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary s = Summary::of({1.0, 2.0});
+  const Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  Summary target;
+  target.merge(s);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(Histogram, BasicAccounting) {
+  Histogram h;
+  h.add(0, 3);
+  h.add(2);
+  h.add(5, 2);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.at(0), 3u);
+  EXPECT_EQ(h.at(2), 1u);
+  EXPECT_EQ(h.at(5), 2u);
+  EXPECT_EQ(h.at(1), 0u);
+  EXPECT_EQ(h.at(100), 0u);
+  EXPECT_EQ(h.max_value(), 5u);
+  EXPECT_NEAR(h.mean(), (0.0 * 3 + 2.0 + 5.0 * 2) / 6.0, 1e-12);
+}
+
+TEST(Histogram, TailFraction) {
+  Histogram h;
+  h.add(1, 5);
+  h.add(3, 5);
+  EXPECT_NEAR(h.tail_fraction(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.tail_fraction(2), 0.5, 1e-12);
+  EXPECT_NEAR(h.tail_fraction(4), 0.0, 1e-12);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.99), 99u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  EXPECT_THROW(h.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a;
+  a.add(1, 2);
+  Histogram b;
+  b.add(1);
+  b.add(4, 3);
+  a.merge(b);
+  EXPECT_EQ(a.at(1), 3u);
+  EXPECT_EQ(a.at(4), 3u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Regression, RecoversExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineStillClose) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 0.5 * i + 0.1 * std::sin(i * 13.0));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Regression, ConstantResponseHasPerfectFlatFit) {
+  const LinearFit fit = linear_fit({1, 2, 3}, {5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(linear_fit({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({2, 2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Regression, PearsonKnownValues) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Scaling, TransformValues) {
+  EXPECT_NEAR(growth_transform(GrowthLaw::Log, std::exp(2.0)), 2.0, 1e-12);
+  EXPECT_NEAR(growth_transform(GrowthLaw::Sqrt, 49.0), 7.0, 1e-12);
+  EXPECT_NEAR(growth_transform(GrowthLaw::Linear, 5.0), 5.0, 1e-12);
+  EXPECT_NEAR(growth_transform(GrowthLaw::Constant, 100.0), 1.0, 1e-12);
+  EXPECT_THROW(growth_transform(GrowthLaw::Log, 2.0), std::invalid_argument);
+}
+
+TEST(Scaling, Names) {
+  EXPECT_EQ(to_string(GrowthLaw::LogOverLogLog), "log n / log log n");
+  EXPECT_EQ(to_string(GrowthLaw::LogLog), "log log n");
+}
+
+TEST(Scaling, ClassifiesSyntheticSeries) {
+  std::vector<double> ns;
+  for (double n = 100; n <= 1e6; n *= 3.0) ns.push_back(n);
+
+  const auto series = [&](GrowthLaw law) {
+    std::vector<double> ys;
+    for (const double n : ns) {
+      ys.push_back(2.0 + 1.7 * growth_transform(law, n));
+    }
+    return ys;
+  };
+
+  EXPECT_EQ(classify_growth(ns, series(GrowthLaw::Log)).best, GrowthLaw::Log);
+  EXPECT_EQ(classify_growth(ns, series(GrowthLaw::Sqrt)).best,
+            GrowthLaw::Sqrt);
+  EXPECT_EQ(classify_growth(ns, series(GrowthLaw::Linear)).best,
+            GrowthLaw::Linear);
+  EXPECT_EQ(classify_growth(ns, series(GrowthLaw::LogLog)).best,
+            GrowthLaw::LogLog);
+}
+
+TEST(Scaling, FlatSeriesIsConstant) {
+  const std::vector<double> ns = {100, 1000, 10000, 100000};
+  const std::vector<double> ys = {4.2, 4.2, 4.2, 4.2};
+  EXPECT_EQ(classify_growth(ns, ys).best, GrowthLaw::Constant);
+}
+
+TEST(Scaling, ReportExposesAllCandidates) {
+  const std::vector<double> ns = {10, 100, 1000, 10000};
+  const std::vector<double> ys = {1, 2, 3, 4};  // log-ish
+  const ScalingReport report = classify_growth(ns, ys);
+  EXPECT_EQ(report.candidates.size(), 6u);
+  EXPECT_GT(report.r2_of(GrowthLaw::Log), 0.99);
+  // Candidates sorted by descending R².
+  for (std::size_t i = 1; i < report.candidates.size(); ++i) {
+    EXPECT_GE(report.candidates[i - 1].fit.r2, report.candidates[i].fit.r2);
+  }
+}
+
+TEST(Scaling, RejectsBadInput) {
+  EXPECT_THROW(classify_growth({10, 100}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(classify_growth({2, 10, 100}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

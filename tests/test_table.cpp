@@ -1,0 +1,71 @@
+// Tests for util/table: cell formatting, alignment, CSV escaping and arity
+// enforcement.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proxcache {
+namespace {
+
+TEST(Cell, Formats) {
+  EXPECT_EQ(Cell("text").str(), "text");
+  EXPECT_EQ(Cell(42).str(), "42");
+  EXPECT_EQ(Cell(std::int64_t{-7}).str(), "-7");
+  EXPECT_EQ(Cell(std::size_t{9}).str(), "9");
+  EXPECT_EQ(Cell(3.14159, 2).str(), "3.14");
+  EXPECT_EQ(Cell(2.0).str(), "2.000");  // default precision 3
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({Cell(1)}), std::invalid_argument);
+  table.add_row({Cell(1), Cell(2)});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Table, AlignedOutput) {
+  Table table({"n", "max load"});
+  table.add_row({Cell(100), Cell(4.5, 1)});
+  table.add_row({Cell(10000), Cell(6.0, 1)});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(text.find("n  max load"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("6.0"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Right-aligned numbers: "  100" under the wider 10000.
+  EXPECT_NE(text.find("  100"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"k", "v"});
+  table.add_row({Cell("plain"), Cell(1)});
+  table.add_row({Cell("with,comma"), Cell(2)});
+  table.add_row({Cell("with\"quote"), Cell(3)});
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("k,v\n"), std::string::npos);
+  EXPECT_NE(text.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(text.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(text.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table table({"only"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proxcache

@@ -1,0 +1,103 @@
+// Tests for the parallel substrate: task execution, result ordering,
+// exception propagation and destruction semantics.
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionsSurfaceAtGet) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // Pool still usable afterwards.
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // Futures discarded; destructor must still run everything queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto results =
+      parallel_map(pool, 64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelMap, EmptyRangeYieldsEmptyVector) {
+  ThreadPool pool(2);
+  const auto results = parallel_map(pool, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelMap, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_map(pool, 8,
+                            [](std::size_t i) -> int {
+                              if (i == 3) throw std::logic_error("boom");
+                              return 0;
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, ExecutesEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 100, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMap, MoveOnlyResultsSupported) {
+  ThreadPool pool(2);
+  const auto results = parallel_map(pool, 4, [](std::size_t i) {
+    return std::make_unique<int>(static_cast<int>(i));
+  });
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(*results[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace proxcache

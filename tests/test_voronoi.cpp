@@ -1,0 +1,118 @@
+// Tests for spatial/voronoi: coverage, exact nearest distances, the min-id
+// tie rule, and cell-size bookkeeping.
+#include "spatial/voronoi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "catalog/placement.hpp"
+#include "random/rng.hpp"
+
+namespace proxcache {
+namespace {
+
+class VoronoiParamTest : public ::testing::TestWithParam<Wrap> {};
+
+TEST_P(VoronoiParamTest, DistancesAndOwnersMatchBruteForce) {
+  const Lattice lattice(8, GetParam());
+  const std::vector<NodeId> centers = {3, 17, 42, 60};
+  const VoronoiTessellation voronoi(lattice, centers);
+  for (NodeId u = 0; u < lattice.size(); ++u) {
+    Hop best = std::numeric_limits<Hop>::max();
+    NodeId best_center = kInvalidNode;
+    for (const NodeId c : centers) {
+      const Hop d = lattice.distance(u, c);
+      if (d < best || (d == best && c < best_center)) {
+        best = d;
+        best_center = c;
+      }
+    }
+    EXPECT_EQ(voronoi.distance(u), best) << "node " << u;
+    EXPECT_EQ(voronoi.owner(u), best_center) << "node " << u;
+  }
+}
+
+TEST_P(VoronoiParamTest, CellSizesPartitionTheLattice) {
+  const Lattice lattice(9, GetParam());
+  const std::vector<NodeId> centers = {0, 8, 40, 72, 80};
+  const VoronoiTessellation voronoi(lattice, centers);
+  std::size_t total = 0;
+  for (const NodeId c : centers) total += voronoi.cell_size(c);
+  EXPECT_EQ(total, lattice.size());
+  EXPECT_GE(voronoi.max_cell_size(), lattice.size() / centers.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Wraps, VoronoiParamTest,
+                         ::testing::Values(Wrap::Torus, Wrap::Grid),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Voronoi, SingleCenterOwnsEverything) {
+  const Lattice lattice(6, Wrap::Torus);
+  const VoronoiTessellation voronoi(lattice, {14});
+  EXPECT_EQ(voronoi.cell_size(14), lattice.size());
+  EXPECT_EQ(voronoi.max_cell_size(), lattice.size());
+  for (NodeId u = 0; u < lattice.size(); ++u) {
+    EXPECT_EQ(voronoi.owner(u), 14u);
+    EXPECT_EQ(voronoi.distance(u), lattice.distance(u, 14));
+  }
+}
+
+TEST(Voronoi, AllNodesCentersGivesUnitCells) {
+  const Lattice lattice(4, Wrap::Grid);
+  std::vector<NodeId> centers(lattice.size());
+  for (NodeId u = 0; u < lattice.size(); ++u) centers[u] = u;
+  const VoronoiTessellation voronoi(lattice, centers);
+  for (NodeId u = 0; u < lattice.size(); ++u) {
+    EXPECT_EQ(voronoi.owner(u), u);
+    EXPECT_EQ(voronoi.distance(u), 0u);
+    EXPECT_EQ(voronoi.cell_size(u), 1u);
+  }
+}
+
+TEST(Voronoi, DuplicateCentersHandled) {
+  const Lattice lattice(5, Wrap::Torus);
+  const VoronoiTessellation voronoi(lattice, {7, 7, 19});
+  EXPECT_EQ(voronoi.cell_size(7) + voronoi.cell_size(19), lattice.size());
+}
+
+TEST(Voronoi, MeanDistanceMatchesAverage) {
+  const Lattice lattice(7, Wrap::Torus);
+  const std::vector<NodeId> centers = {0, 24};
+  const VoronoiTessellation voronoi(lattice, centers);
+  double total = 0.0;
+  for (NodeId u = 0; u < lattice.size(); ++u) {
+    total += voronoi.distance(u);
+  }
+  EXPECT_NEAR(voronoi.mean_distance(), total / lattice.size(), 1e-12);
+}
+
+TEST(Voronoi, RejectsBadCenters) {
+  const Lattice lattice(4, Wrap::Torus);
+  EXPECT_THROW(VoronoiTessellation(lattice, {}), std::invalid_argument);
+  EXPECT_THROW(VoronoiTessellation(lattice, {99}), std::invalid_argument);
+}
+
+TEST(Voronoi, MoreCentersShrinkMaxCell) {
+  const Lattice lattice(12, Wrap::Torus);
+  Rng rng(3);
+  std::vector<NodeId> few;
+  std::vector<NodeId> many;
+  for (int i = 0; i < 3; ++i) {
+    few.push_back(static_cast<NodeId>(rng.below(lattice.size())));
+  }
+  many = few;
+  for (int i = 0; i < 27; ++i) {
+    many.push_back(static_cast<NodeId>(rng.below(lattice.size())));
+  }
+  const VoronoiTessellation sparse(lattice, few);
+  const VoronoiTessellation dense(lattice, many);
+  EXPECT_GE(sparse.max_cell_size(), dense.max_cell_size());
+  EXPECT_GE(sparse.mean_distance(), dense.mean_distance());
+}
+
+}  // namespace
+}  // namespace proxcache
