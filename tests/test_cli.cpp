@@ -120,8 +120,8 @@ TEST(Cli, WrongTypeAccessThrows) {
   ArgParser args = make_parser();
   const auto argv = argv_of({});
   args.parse(static_cast<int>(argv.size()), argv.data());
-  EXPECT_THROW(args.get_double("n"), std::invalid_argument);
-  EXPECT_THROW(args.get_int("unknown"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(args.get_double("n")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(args.get_int("unknown")), std::invalid_argument);
 }
 
 TEST(Cli, DuplicateRegistrationRejected) {

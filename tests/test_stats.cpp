@@ -34,8 +34,8 @@ TEST(Summary, SingleObservation) {
 
 TEST(Summary, EmptyThrowsOnMean) {
   const Summary s;
-  EXPECT_THROW(s.mean(), std::invalid_argument);
-  EXPECT_THROW(s.min(), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.mean()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.min()), std::invalid_argument);
 }
 
 TEST(Summary, MergeEqualsCombinedStream) {
@@ -96,8 +96,8 @@ TEST(Histogram, Quantiles) {
   EXPECT_EQ(h.quantile(0.5), 50u);
   EXPECT_EQ(h.quantile(0.99), 99u);
   EXPECT_EQ(h.quantile(1.0), 100u);
-  EXPECT_THROW(h.quantile(0.0), std::invalid_argument);
-  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(h.quantile(0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(h.quantile(1.1)), std::invalid_argument);
 }
 
 TEST(Histogram, MergeAddsCounts) {
