@@ -6,8 +6,7 @@
 // that radius implies. This example sweeps r and prints a planning table
 // plus a recommendation.
 //
-//   $ ./cdn_simulation --n 2025 --files 1000 --cache 20 --gamma 0.8 \
-//         --target-load 5
+//   $ ./cdn_simulation --n 2025 --files 1000 --cache 20 --gamma 0.8 --target-load 5
 #include <iostream>
 #include <vector>
 

@@ -1,8 +1,7 @@
 // Trade-off explorer: regenerate the paper's Figure 5 curve for *your*
 // parameters and emit CSV ready for plotting.
 //
-//   $ ./tradeoff_explorer --n 2025 --files 500 --cache 20 --runs 100 \
-//         > tradeoff.csv
+//   $ ./tradeoff_explorer --n 2025 --files 500 --cache 20 --runs 100 > tradeoff.csv
 //
 // Columns: r, comm_cost, max_load, ci95(max_load), fallback_rate. The
 // interesting read is the (comm_cost, max_load) parametric curve: with
