@@ -1,0 +1,133 @@
+// Scenario × strategy matrix runner over the built-in scenario registry.
+//
+// Runs every requested workload scenario (flash crowds, diurnal cycles,
+// catalog churn, temporal locality, adversarial hot keys, plus the paper
+// baselines) under each assignment strategy, on the thread pool, and prints
+// one table row per (scenario, strategy) pair — or CSV with --csv.
+//
+//   $ ./scenario_runner --list
+//   $ ./scenario_runner --scenario flash-crowd --runs 40
+//   $ ./scenario_runner --scenario all --csv > matrix.csv
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace proxcache;
+
+  ArgParser args("scenario_runner",
+                 "workload-scenario x strategy matrix on the thread pool");
+  args.add_string("scenario", "all",
+                  "scenario name (see --list) or 'all' for the full matrix");
+  args.add_flag("list", "print the registered scenarios and exit");
+  args.add_int("runs", 20, "Monte-Carlo replications per matrix cell");
+  args.add_int("seed", 0x5EED, "root seed");
+  args.add_int("n", 0, "override server count (perfect square; 0 = preset)");
+  args.add_int("files", 0, "override catalog size K (0 = preset)");
+  args.add_int("cache", 0, "override cache slots M (0 = preset)");
+  args.add_int("requests", 0, "override requests per run (0 = n requests)");
+  args.add_int("radius", 8, "finite dispatch radius of the third strategy");
+  args.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  args.add_flag("csv", "emit CSV instead of an aligned table");
+  try {
+    args.parse(argc, argv);
+  } catch (const CliError& error) {
+    std::cerr << error.what() << "\n\n" << args.help_text();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help_text();
+    return 0;
+  }
+
+  const ScenarioRegistry& registry = ScenarioRegistry::built_ins();
+  if (args.get_flag("list")) {
+    Table listing({"scenario", "summary"});
+    for (const Scenario& scenario : registry.all()) {
+      listing.add_row({Cell(scenario.name), Cell(scenario.summary)});
+    }
+    listing.print(std::cout);
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  const std::string requested = args.get_string("scenario");
+  if (requested == "all") {
+    for (const Scenario& scenario : registry.all()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    try {
+      selected.push_back(&registry.at(requested));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto finite_radius = static_cast<Hop>(args.get_int("radius"));
+  ThreadPool pool(static_cast<unsigned>(args.get_int("threads")));
+
+  struct StrategyRow {
+    std::string label;
+    StrategyKind kind;
+    Hop radius;
+  };
+  const std::vector<StrategyRow> strategies = {
+      {"nearest", StrategyKind::NearestReplica, kUnboundedRadius},
+      {"two-choice r=inf", StrategyKind::TwoChoice, kUnboundedRadius},
+      {"two-choice r=" + std::to_string(finite_radius),
+       StrategyKind::TwoChoice, finite_radius},
+  };
+
+  Table table({"scenario", "strategy", "max load", "+/-", "comm cost", "+/-",
+               "fallback %", "drop %"});
+  for (const Scenario* scenario : selected) {
+    ExperimentConfig config = scenario->config;
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    if (args.get_int("n") > 0) {
+      config.num_nodes = static_cast<std::size_t>(args.get_int("n"));
+    }
+    if (args.get_int("files") > 0) {
+      config.num_files = static_cast<std::size_t>(args.get_int("files"));
+    }
+    if (args.get_int("cache") > 0) {
+      config.cache_size = static_cast<std::size_t>(args.get_int("cache"));
+    }
+    if (args.get_int("requests") > 0) {
+      config.num_requests = static_cast<std::size_t>(args.get_int("requests"));
+    }
+    for (const StrategyRow& strategy : strategies) {
+      config.strategy.kind = strategy.kind;
+      config.strategy.radius = strategy.radius;
+      try {
+        config.validate();
+      } catch (const std::invalid_argument& error) {
+        std::cerr << "scenario '" << scenario->name
+                  << "' with the given overrides is invalid: " << error.what()
+                  << "\n";
+        return 2;
+      }
+      const ExperimentResult result = run_experiment(config, runs, &pool);
+      table.add_row({Cell(scenario->name), Cell(strategy.label),
+                     Cell(result.max_load.mean(), 2),
+                     Cell(result.max_load.standard_error(), 2),
+                     Cell(result.comm_cost.mean(), 2),
+                     Cell(result.comm_cost.standard_error(), 2),
+                     Cell(result.fallback_rate * 100.0, 1),
+                     Cell(result.drop_rate * 100.0, 1)});
+    }
+  }
+  if (args.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

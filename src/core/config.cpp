@@ -14,8 +14,70 @@ void ExperimentConfig::validate() const {
   PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
   PROXCACHE_REQUIRE(strategy.num_choices >= 1 && strategy.num_choices <= 8,
                     "num_choices must be in [1, 8]");
+  PROXCACHE_REQUIRE(strategy.beta >= 0.0 && strategy.beta <= 1.0,
+                    "beta must be in [0, 1]");
+  PROXCACHE_REQUIRE(strategy.stale_batch >= 1,
+                    "stale_batch must be >= 1 (1 = always-fresh loads)");
   if (popularity.kind == PopularityKind::Zipf) {
     PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
+  }
+
+  const auto side = static_cast<Hop>(
+      Lattice::from_node_count(num_nodes, wrap).side());
+  if (origins.kind == OriginKind::Hotspot) {
+    PROXCACHE_REQUIRE(
+        origins.hotspot_fraction >= 0.0 && origins.hotspot_fraction <= 1.0,
+        "hotspot_fraction must be in [0, 1]");
+    PROXCACHE_REQUIRE(origins.hotspot_radius < side,
+                      "hotspot_radius must be smaller than the lattice side");
+  }
+
+  switch (trace.kind) {
+    case TraceKind::Static:
+      break;
+    case TraceKind::FlashCrowd:
+      PROXCACHE_REQUIRE(origins.kind == OriginKind::Uniform,
+                        "flash-crowd traces define their own origin process; "
+                        "use uniform OriginSpec");
+      PROXCACHE_REQUIRE(trace.flash_peak >= 0.0 && trace.flash_peak <= 1.0,
+                        "flash_peak must be in [0, 1]");
+      PROXCACHE_REQUIRE(
+          trace.flash_start >= 0.0 && trace.flash_start < trace.flash_end &&
+              trace.flash_end <= 1.0,
+          "flash window must satisfy 0 <= start < end <= 1");
+      PROXCACHE_REQUIRE(trace.flash_radius < side,
+                        "flash_radius must be smaller than the lattice side");
+      break;
+    case TraceKind::Diurnal:
+      PROXCACHE_REQUIRE(popularity.kind == PopularityKind::Zipf,
+                        "diurnal traces modulate a Zipf catalog");
+      PROXCACHE_REQUIRE(trace.diurnal_amplitude >= 0.0 &&
+                            popularity.gamma - trace.diurnal_amplitude >= 0.0,
+                        "diurnal_amplitude must be in [0, gamma]");
+      PROXCACHE_REQUIRE(trace.diurnal_cycles >= 1,
+                        "diurnal_cycles must be >= 1");
+      break;
+    case TraceKind::Churn:
+      PROXCACHE_REQUIRE(trace.churn_offline_fraction >= 0.0 &&
+                            trace.churn_offline_fraction < 1.0,
+                        "churn_offline_fraction must be in [0, 1)");
+      PROXCACHE_REQUIRE(trace.churn_epochs >= 1, "churn_epochs must be >= 1");
+      break;
+    case TraceKind::TemporalLocality:
+      PROXCACHE_REQUIRE(
+          trace.locality_prob >= 0.0 && trace.locality_prob <= 1.0,
+          "locality_prob must be in [0, 1]");
+      PROXCACHE_REQUIRE(trace.locality_depth >= 1,
+                        "locality_depth must be >= 1");
+      break;
+    case TraceKind::Adversarial:
+      PROXCACHE_REQUIRE(
+          trace.attack_fraction >= 0.0 && trace.attack_fraction <= 1.0,
+          "attack_fraction must be in [0, 1]");
+      PROXCACHE_REQUIRE(
+          trace.attack_top_k >= 1 && trace.attack_top_k <= num_files,
+          "attack_top_k must be in [1, num_files]");
+      break;
   }
 }
 
@@ -24,6 +86,9 @@ std::string ExperimentConfig::describe() const {
   os << "n=" << num_nodes << " K=" << num_files << " M=" << cache_size
      << " " << to_string(wrap) << " "
      << popularity.materialize(num_files).describe() << " ";
+  if (trace.kind != TraceKind::Static) {
+    os << "trace=" << to_string(trace.kind) << " ";
+  }
   if (strategy.kind == StrategyKind::NearestReplica) {
     os << "strategy=nearest";
   } else {

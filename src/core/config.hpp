@@ -11,6 +11,7 @@
 
 #include "catalog/placement.hpp"
 #include "catalog/popularity.hpp"
+#include "scenario/trace_spec.hpp"
 #include "topology/lattice.hpp"
 #include "util/types.hpp"
 
@@ -97,6 +98,10 @@ struct ExperimentConfig {
   PlacementMode placement_mode = PlacementMode::ProportionalWithReplacement;
   PopularitySpec popularity;
   OriginSpec origins;
+  /// Which trace process generates the request stream. `Static` (default)
+  /// is the paper's model driven by `origins` + `popularity`; other kinds
+  /// (scenario/trace_spec.hpp) open time-varying and adversarial workloads.
+  TraceSpec trace;
   /// Number of sequential requests; 0 means "n requests" (paper default).
   std::size_t num_requests = 0;
   MissingFilePolicy missing = MissingFilePolicy::Resample;

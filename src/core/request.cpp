@@ -3,55 +3,29 @@
 #include <stdexcept>
 
 #include "random/alias_sampler.hpp"
-#include "topology/shells.hpp"
+#include "scenario/generators.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
 
+// Both legacy entry points delegate to the Static trace source
+// (scenario/generators.hpp), which is the single implementation of the
+// paper-model draw sequence — so `generate_trace` and a `Static`-configured
+// `run_simulation` are bit-identical by construction.
+
 std::vector<Request> generate_trace(std::size_t num_nodes,
                                     const Popularity& popularity,
                                     std::size_t count, Rng& rng) {
-  PROXCACHE_REQUIRE(num_nodes >= 1, "need >= 1 node");
-  const AliasSampler sampler(popularity.pmf());
-  std::vector<Request> trace;
-  trace.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    Request request;
-    request.origin = static_cast<NodeId>(rng.below(num_nodes));
-    request.file = sampler.sample(rng);
-    trace.push_back(request);
-  }
-  return trace;
+  StaticTraceSource source(num_nodes, popularity);
+  return materialize(source, count, rng);
 }
 
 std::vector<Request> generate_trace(const Lattice& lattice,
                                     const OriginSpec& origins,
                                     const Popularity& popularity,
                                     std::size_t count, Rng& rng) {
-  if (origins.kind == OriginKind::Uniform) {
-    return generate_trace(lattice.size(), popularity, count, rng);
-  }
-  PROXCACHE_REQUIRE(
-      origins.hotspot_fraction >= 0.0 && origins.hotspot_fraction <= 1.0,
-      "hotspot fraction must be in [0, 1]");
-  const NodeId center =
-      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
-  const std::vector<NodeId> disc =
-      collect_ball(lattice, center, origins.hotspot_radius);
-  const AliasSampler sampler(popularity.pmf());
-  std::vector<Request> trace;
-  trace.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    Request request;
-    if (rng.bernoulli(origins.hotspot_fraction)) {
-      request.origin = disc[rng.below(disc.size())];
-    } else {
-      request.origin = static_cast<NodeId>(rng.below(lattice.size()));
-    }
-    request.file = sampler.sample(rng);
-    trace.push_back(request);
-  }
-  return trace;
+  StaticTraceSource source(lattice, origins, popularity);
+  return materialize(source, count, rng);
 }
 
 SanitizeStats sanitize_trace(std::vector<Request>& trace,

@@ -2,8 +2,11 @@
 /// \file request.hpp
 /// Request traces (paper §II-B): `m` sequential requests, each with an
 /// origin server chosen uniformly at random and a file drawn from the
-/// popularity law. `sanitize` closes the uncached-file gap per the
-/// configured MissingFilePolicy.
+/// popularity law. Both `generate_trace` overloads delegate to the Static
+/// `TraceSource` (scenario/generators.hpp) — the single implementation of
+/// the paper-model draw sequence — and richer workloads stream from the
+/// other sources in `src/scenario/`. `sanitize` closes the uncached-file
+/// gap per the configured MissingFilePolicy.
 
 #include <cstdint>
 #include <vector>

@@ -8,6 +8,7 @@
 #include "core/stale_view.hpp"
 #include "core/two_choice.hpp"
 #include "random/seeding.hpp"
+#include "scenario/trace_source.hpp"
 #include "spatial/replica_index.hpp"
 #include "util/contracts.hpp"
 
@@ -29,9 +30,10 @@ RunResult run_simulation(const ExperimentConfig& config,
                           config.placement_mode, placement_rng);
 
   Rng trace_rng(derive_seed(config.seed, {run_index, seed_phase::kTrace}));
+  const std::unique_ptr<TraceSource> source = make_trace_source(
+      config, lattice, popularity, config.effective_requests());
   std::vector<Request> trace =
-      generate_trace(lattice, config.origins, popularity,
-                     config.effective_requests(), trace_rng);
+      materialize(*source, config.effective_requests(), trace_rng);
   const SanitizeStats sanitize =
       sanitize_trace(trace, placement, popularity, config.missing, trace_rng);
 

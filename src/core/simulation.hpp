@@ -1,9 +1,9 @@
 #pragma once
 /// \file simulation.hpp
 /// One complete simulated time block (paper §II-B): cache placement →
-/// request trace → sequential assignment → metrics. A run is a pure
-/// function of (config, run_index): all randomness derives from
-/// `derive_seed(config.seed, {run_index, phase})`.
+/// trace source (scenario/trace_source.hpp) → sequential assignment →
+/// metrics. A run is a pure function of (config, run_index): all
+/// randomness derives from `derive_seed(config.seed, {run_index, phase})`.
 
 #include <cstdint>
 

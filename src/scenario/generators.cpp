@@ -1,0 +1,339 @@
+#include "scenario/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "topology/shells.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+// ---------------------------------------------------------------------------
+// OriginModel
+// ---------------------------------------------------------------------------
+
+OriginModel::OriginModel(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  PROXCACHE_REQUIRE(num_nodes >= 1, "need >= 1 node");
+}
+
+OriginModel::OriginModel(const Lattice& lattice, const OriginSpec& spec)
+    : num_nodes_(lattice.size()) {
+  if (spec.kind == OriginKind::Uniform) return;
+  PROXCACHE_REQUIRE(
+      spec.hotspot_fraction >= 0.0 && spec.hotspot_fraction <= 1.0,
+      "hotspot fraction must be in [0, 1]");
+  fraction_ = spec.hotspot_fraction;
+  const NodeId center =
+      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
+  disc_ = collect_ball(lattice, center, spec.hotspot_radius);
+}
+
+NodeId OriginModel::sample(Rng& rng) const {
+  if (disc_.empty()) {
+    return static_cast<NodeId>(rng.below(num_nodes_));
+  }
+  if (rng.bernoulli(fraction_)) {
+    return disc_[rng.below(disc_.size())];
+  }
+  return static_cast<NodeId>(rng.below(num_nodes_));
+}
+
+// ---------------------------------------------------------------------------
+// StaticTraceSource
+// ---------------------------------------------------------------------------
+
+StaticTraceSource::StaticTraceSource(std::size_t num_nodes,
+                                     const Popularity& popularity)
+    : origins_(num_nodes), files_(popularity.pmf()) {}
+
+StaticTraceSource::StaticTraceSource(const Lattice& lattice,
+                                     const OriginSpec& origins,
+                                     const Popularity& popularity)
+    : origins_(lattice, origins), files_(popularity.pmf()) {}
+
+Request StaticTraceSource::next(Rng& rng) {
+  Request request;
+  request.origin = origins_.sample(rng);
+  request.file = files_.sample(rng);
+  return request;
+}
+
+std::string StaticTraceSource::describe() const {
+  return origins_.disc().empty() ? "static" : "static(hotspot origins)";
+}
+
+// ---------------------------------------------------------------------------
+// FlashCrowdTraceSource
+// ---------------------------------------------------------------------------
+
+FlashCrowdTraceSource::FlashCrowdTraceSource(const Lattice& lattice,
+                                             const Popularity& popularity,
+                                             const TraceSpec& spec,
+                                             std::size_t horizon)
+    : num_nodes_(lattice.size()),
+      files_(popularity.pmf()),
+      spec_(spec),
+      horizon_(horizon) {
+  PROXCACHE_REQUIRE(horizon >= 1, "need >= 1 request");
+  const NodeId center =
+      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
+  disc_ = collect_ball(lattice, center, spec.flash_radius);
+}
+
+double FlashCrowdTraceSource::pulse_fraction(std::size_t t) const {
+  const auto m = static_cast<double>(horizon_);
+  const double start = spec_.flash_start * m;
+  const double end = spec_.flash_end * m;
+  const double mid = 0.5 * (start + end);
+  const auto x = static_cast<double>(t);
+  if (x < start || x >= end || end <= start) return 0.0;
+  if (x < mid) return spec_.flash_peak * (x - start) / (mid - start);
+  return spec_.flash_peak * (end - x) / (end - mid);
+}
+
+double FlashCrowdTraceSource::mean_pulse() const {
+  double sum = 0.0;
+  for (std::size_t t = 0; t < horizon_; ++t) sum += pulse_fraction(t);
+  return sum / static_cast<double>(horizon_);
+}
+
+Request FlashCrowdTraceSource::next(Rng& rng) {
+  const double p = pulse_fraction(clock_++);
+  Request request;
+  if (rng.bernoulli(p)) {
+    request.origin = disc_[rng.below(disc_.size())];
+  } else {
+    request.origin = static_cast<NodeId>(rng.below(num_nodes_));
+  }
+  request.file = files_.sample(rng);
+  return request;
+}
+
+std::string FlashCrowdTraceSource::describe() const {
+  std::ostringstream os;
+  os << "flash-crowd(peak=" << spec_.flash_peak << " window=["
+     << spec_.flash_start << "," << spec_.flash_end
+     << "] r=" << spec_.flash_radius << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DiurnalTraceSource
+// ---------------------------------------------------------------------------
+
+DiurnalTraceSource::DiurnalTraceSource(OriginModel origins,
+                                       const Popularity& popularity,
+                                       const TraceSpec& spec,
+                                       std::size_t horizon)
+    : origins_(std::move(origins)),
+      base_gamma_(popularity.gamma()),
+      spec_(spec),
+      horizon_(horizon) {
+  PROXCACHE_REQUIRE(horizon >= 1, "need >= 1 request");
+  PROXCACHE_REQUIRE(popularity.gamma() - spec.diurnal_amplitude >= 0.0,
+                    "diurnal amplitude must not push gamma below 0");
+  const std::size_t num_files = popularity.num_files();
+  phase_pmfs_.reserve(kPhases);
+  phase_samplers_.reserve(kPhases);
+  for (std::uint32_t b = 0; b < kPhases; ++b) {
+    const Popularity phase_pop = Popularity::zipf(num_files, phase_gamma(b));
+    phase_pmfs_.push_back(phase_pop.pmf());
+    phase_samplers_.emplace_back(phase_pop.pmf());
+  }
+}
+
+std::uint32_t DiurnalTraceSource::phase_of(std::size_t t) const {
+  const double cycle_pos =
+      std::fmod(static_cast<double>(t) *
+                    static_cast<double>(spec_.diurnal_cycles) /
+                    static_cast<double>(horizon_),
+                1.0);
+  const auto phase = static_cast<std::uint32_t>(
+      cycle_pos * static_cast<double>(kPhases));
+  return std::min(phase, kPhases - 1);
+}
+
+double DiurnalTraceSource::phase_gamma(std::uint32_t phase) const {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double angle = kTwoPi * (static_cast<double>(phase) + 0.5) /
+                       static_cast<double>(kPhases);
+  return base_gamma_ + spec_.diurnal_amplitude * std::sin(angle);
+}
+
+std::vector<double> DiurnalTraceSource::marginal_pmf() const {
+  std::vector<std::size_t> occupancy(kPhases, 0);
+  for (std::size_t t = 0; t < horizon_; ++t) ++occupancy[phase_of(t)];
+  std::vector<double> marginal(phase_pmfs_[0].size(), 0.0);
+  for (std::uint32_t b = 0; b < kPhases; ++b) {
+    const double weight = static_cast<double>(occupancy[b]) /
+                          static_cast<double>(horizon_);
+    for (std::size_t j = 0; j < marginal.size(); ++j) {
+      marginal[j] += weight * phase_pmfs_[b][j];
+    }
+  }
+  return marginal;
+}
+
+Request DiurnalTraceSource::next(Rng& rng) {
+  Request request;
+  request.origin = origins_.sample(rng);
+  request.file = phase_samplers_[phase_of(clock_++)].sample(rng);
+  return request;
+}
+
+std::string DiurnalTraceSource::describe() const {
+  std::ostringstream os;
+  os << "diurnal(A=" << spec_.diurnal_amplitude
+     << " cycles=" << spec_.diurnal_cycles << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ChurnTraceSource
+// ---------------------------------------------------------------------------
+
+ChurnTraceSource::ChurnTraceSource(OriginModel origins,
+                                   const Popularity& popularity,
+                                   const TraceSpec& spec, std::size_t horizon)
+    : origins_(std::move(origins)),
+      files_(popularity.pmf()),
+      num_files_(popularity.num_files()),
+      spec_(spec),
+      offline_(popularity.num_files(), false) {
+  PROXCACHE_REQUIRE(horizon >= 1, "need >= 1 request");
+  PROXCACHE_REQUIRE(
+      spec.churn_offline_fraction >= 0.0 && spec.churn_offline_fraction < 1.0,
+      "churn offline fraction must be in [0, 1)");
+  PROXCACHE_REQUIRE(spec.churn_epochs >= 1, "need >= 1 churn epoch");
+  epoch_length_ = std::max<std::size_t>(
+      1, (horizon + spec.churn_epochs - 1) / spec.churn_epochs);
+  offline_count_ = static_cast<std::size_t>(
+      spec.churn_offline_fraction * static_cast<double>(num_files_));
+}
+
+void ChurnTraceSource::rotate_offline_set(Rng& rng) {
+  std::fill(offline_.begin(), offline_.end(), false);
+  // Partial Fisher-Yates over file ids: the first `offline_count_` positions
+  // of a fresh permutation form a uniform subset.
+  std::vector<FileId> ids(num_files_);
+  std::iota(ids.begin(), ids.end(), FileId{0});
+  for (std::size_t i = 0; i < offline_count_; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(
+                                  rng.below(num_files_ - i));
+    std::swap(ids[i], ids[j]);
+    offline_[ids[i]] = true;
+  }
+}
+
+Request ChurnTraceSource::next(Rng& rng) {
+  if (clock_ % epoch_length_ == 0) rotate_offline_set(rng);
+  ++clock_;
+  Request request;
+  request.origin = origins_.sample(rng);
+  do {
+    request.file = files_.sample(rng);
+  } while (offline_[request.file]);
+  return request;
+}
+
+std::string ChurnTraceSource::describe() const {
+  std::ostringstream os;
+  os << "churn(offline=" << spec_.churn_offline_fraction
+     << " epochs=" << spec_.churn_epochs << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TemporalLocalityTraceSource
+// ---------------------------------------------------------------------------
+
+TemporalLocalityTraceSource::TemporalLocalityTraceSource(
+    OriginModel origins, const Popularity& popularity, const TraceSpec& spec)
+    : origins_(std::move(origins)),
+      files_(popularity.pmf()),
+      spec_(spec),
+      window_(spec.locality_depth, 0) {
+  PROXCACHE_REQUIRE(spec.locality_depth >= 1, "locality depth must be >= 1");
+  PROXCACHE_REQUIRE(spec.locality_prob >= 0.0 && spec.locality_prob <= 1.0,
+                    "locality probability must be in [0, 1]");
+}
+
+Request TemporalLocalityTraceSource::next(Rng& rng) {
+  Request request;
+  request.origin = origins_.sample(rng);
+  const bool reuse = rng.bernoulli(spec_.locality_prob);
+  if (reuse && filled_ > 0) {
+    request.file = window_[rng.below(filled_)];
+  } else {
+    request.file = files_.sample(rng);
+  }
+  window_[head_] = request.file;
+  head_ = (head_ + 1) % window_.size();
+  filled_ = std::min(filled_ + 1, window_.size());
+  return request;
+}
+
+std::string TemporalLocalityTraceSource::describe() const {
+  std::ostringstream os;
+  os << "temporal-locality(p=" << spec_.locality_prob
+     << " depth=" << spec_.locality_depth << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// AdversarialTraceSource
+// ---------------------------------------------------------------------------
+
+AdversarialTraceSource::AdversarialTraceSource(OriginModel origins,
+                                               const Popularity& popularity,
+                                               const TraceSpec& spec)
+    : origins_(std::move(origins)),
+      files_(popularity.pmf()),
+      base_pmf_(popularity.pmf()),
+      spec_(spec) {
+  PROXCACHE_REQUIRE(spec.attack_fraction >= 0.0 && spec.attack_fraction <= 1.0,
+                    "attack fraction must be in [0, 1]");
+  PROXCACHE_REQUIRE(
+      spec.attack_top_k >= 1 && spec.attack_top_k <= popularity.num_files(),
+      "attack top-k must be in [1, K]");
+  std::vector<FileId> ids(popularity.num_files());
+  std::iota(ids.begin(), ids.end(), FileId{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](FileId a, FileId b) {
+    return base_pmf_[a] > base_pmf_[b];
+  });
+  hot_.assign(ids.begin(), ids.begin() + spec.attack_top_k);
+}
+
+std::vector<double> AdversarialTraceSource::marginal_pmf() const {
+  const double a = spec_.attack_fraction;
+  std::vector<double> marginal(base_pmf_.size());
+  for (std::size_t j = 0; j < marginal.size(); ++j) {
+    marginal[j] = (1.0 - a) * base_pmf_[j];
+  }
+  for (const FileId j : hot_) {
+    marginal[j] += a / static_cast<double>(hot_.size());
+  }
+  return marginal;
+}
+
+Request AdversarialTraceSource::next(Rng& rng) {
+  Request request;
+  request.origin = origins_.sample(rng);
+  if (rng.bernoulli(spec_.attack_fraction)) {
+    request.file = hot_[rng.below(hot_.size())];
+  } else {
+    request.file = files_.sample(rng);
+  }
+  return request;
+}
+
+std::string AdversarialTraceSource::describe() const {
+  std::ostringstream os;
+  os << "adversarial(a=" << spec_.attack_fraction
+     << " top-k=" << spec_.attack_top_k << ")";
+  return os.str();
+}
+
+}  // namespace proxcache

@@ -1,0 +1,48 @@
+#pragma once
+/// \file registry.hpp
+/// Named workload presets ("scenarios"): an `ExperimentConfig` with the
+/// workload knobs (popularity, origins, trace process) filled in and the
+/// strategy left at its default, so runners can sweep a scenario × strategy
+/// matrix. The built-in registry covers the paper's baselines plus one
+/// preset per trace process in scenario/generators.hpp.
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace proxcache {
+
+/// One named workload preset.
+struct Scenario {
+  std::string name;     ///< registry key, e.g. "flash-crowd"
+  std::string summary;  ///< one-line description for --list output
+  ExperimentConfig config;
+};
+
+/// Immutable collection of named scenarios.
+class ScenarioRegistry {
+ public:
+  /// The built-in presets (constructed once, validated).
+  static const ScenarioRegistry& built_ins();
+
+  /// All scenarios in registration order.
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+
+  /// Scenario by name, or nullptr when absent.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+
+  /// Scenario by name; throws std::invalid_argument listing the known
+  /// names when absent.
+  [[nodiscard]] const Scenario& at(const std::string& name) const;
+
+  /// Comma-separated names (for error messages and --help).
+  [[nodiscard]] std::string names() const;
+
+ private:
+  ScenarioRegistry();
+
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,50 @@
+#include "scenario/trace_source.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/generators.hpp"
+
+namespace proxcache {
+
+std::vector<Request> materialize(TraceSource& source, std::size_t count,
+                                 Rng& rng) {
+  std::vector<Request> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.push_back(source.next(rng));
+  }
+  return trace;
+}
+
+std::unique_ptr<TraceSource> make_trace_source(const ExperimentConfig& config,
+                                               const Lattice& lattice,
+                                               const Popularity& popularity,
+                                               std::size_t horizon) {
+  const TraceSpec& spec = config.trace;
+  switch (spec.kind) {
+    case TraceKind::Static:
+      return std::make_unique<StaticTraceSource>(lattice, config.origins,
+                                                 popularity);
+    case TraceKind::FlashCrowd:
+      // FlashCrowd defines its own (time-varying) origin process;
+      // validate() rejects non-uniform OriginSpec for this kind.
+      return std::make_unique<FlashCrowdTraceSource>(lattice, popularity,
+                                                     spec, horizon);
+    case TraceKind::Diurnal:
+      return std::make_unique<DiurnalTraceSource>(
+          OriginModel(lattice, config.origins), popularity, spec, horizon);
+    case TraceKind::Churn:
+      return std::make_unique<ChurnTraceSource>(
+          OriginModel(lattice, config.origins), popularity, spec, horizon);
+    case TraceKind::TemporalLocality:
+      return std::make_unique<TemporalLocalityTraceSource>(
+          OriginModel(lattice, config.origins), popularity, spec);
+    case TraceKind::Adversarial:
+      return std::make_unique<AdversarialTraceSource>(
+          OriginModel(lattice, config.origins), popularity, spec);
+  }
+  throw std::logic_error("unhandled TraceKind");
+}
+
+}  // namespace proxcache

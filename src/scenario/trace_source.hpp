@@ -1,0 +1,57 @@
+#pragma once
+/// \file trace_source.hpp
+/// The workload-generation seam of the simulator: a `TraceSource` streams
+/// one `Request` per call, drawing all randomness from the caller-supplied
+/// trace-phase RNG (`derive_seed(config.seed, {run, kTrace})`), so a trace
+/// is a pure function of (config, run_index) regardless of which process
+/// produced it. `run_simulation` consumes a source instead of inlining
+/// origin + file sampling; the paper's model is the `Static` source
+/// (scenario/generators.hpp), which reproduces the legacy `generate_trace`
+/// draw sequence bit-for-bit.
+///
+/// Sources declare marginals over the trace they *generate*. The
+/// missing-file repair that follows (`sanitize_trace`, core/request.hpp)
+/// is a placement-side fix: it redraws requests for zero-replica files
+/// from the base popularity law, outside the trace process — a deliberate
+/// trade to keep the seed contract (repair draws follow all generation
+/// draws on one stream), at the cost of slightly diluting a dynamic
+/// source's declared marginal when a placement leaves files uncached.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/request.hpp"
+
+namespace proxcache {
+
+/// Streaming request generator. `next` is called once per request index in
+/// order; implementations may keep internal clocks (request counters) but
+/// must take all randomness from the passed `rng`.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next request of the stream.
+  virtual Request next(Rng& rng) = 0;
+
+  /// One-line description for logs and tables.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Drain `count` requests from `source` into a vector.
+std::vector<Request> materialize(TraceSource& source, std::size_t count,
+                                 Rng& rng);
+
+/// Build the trace source described by `config.trace` (falling back to the
+/// Static source over `config.origins` / `popularity`). `lattice` and
+/// `popularity` must outlive the returned source. `horizon` is the number
+/// of requests the run will draw — time-varying processes scale their
+/// schedules (pulse window, cycles, epochs) to it.
+std::unique_ptr<TraceSource> make_trace_source(const ExperimentConfig& config,
+                                               const Lattice& lattice,
+                                               const Popularity& popularity,
+                                               std::size_t horizon);
+
+}  // namespace proxcache

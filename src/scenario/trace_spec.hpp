@@ -1,0 +1,94 @@
+#pragma once
+/// \file trace_spec.hpp
+/// Declarative description of a workload trace process. The paper's model
+/// (uniform origins, static Uniform/Zipf catalog) is `TraceKind::Static`;
+/// the other kinds open workloads the paper cannot express: time-varying
+/// hotspots, popularity cycles, catalog churn, request locality, and
+/// adversarial hot keys. A `TraceSpec` only carries knobs — the processes
+/// themselves live in scenario/generators.hpp and are materialized per run
+/// from the trace-phase RNG stream, so every scenario inherits the
+/// simulator's determinism contract.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Which trace process generates the request stream.
+enum class TraceKind : std::uint8_t {
+  Static,           ///< paper model: OriginSpec origins, fixed PopularitySpec
+  FlashCrowd,       ///< triangular pulse of spatially concentrated demand
+  Diurnal,          ///< Zipf exponent oscillates over the trace (day/night)
+  Churn,            ///< files leave/rejoin the requestable catalog per epoch
+  TemporalLocality, ///< LRU-stack-correlated redraws of recent files
+  Adversarial,      ///< a fraction of requests hammers the top-k hot files
+};
+
+/// Human-readable kind name ("static", "flash-crowd", …).
+inline const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Static: return "static";
+    case TraceKind::FlashCrowd: return "flash-crowd";
+    case TraceKind::Diurnal: return "diurnal";
+    case TraceKind::Churn: return "churn";
+    case TraceKind::TemporalLocality: return "temporal-locality";
+    case TraceKind::Adversarial: return "adversarial";
+  }
+  return "?";
+}
+
+/// Parse a kind name produced by `to_string`; throws std::invalid_argument.
+inline TraceKind trace_kind_from_string(const std::string& name) {
+  if (name == "static") return TraceKind::Static;
+  if (name == "flash-crowd") return TraceKind::FlashCrowd;
+  if (name == "diurnal") return TraceKind::Diurnal;
+  if (name == "churn") return TraceKind::Churn;
+  if (name == "temporal-locality") return TraceKind::TemporalLocality;
+  if (name == "adversarial") return TraceKind::Adversarial;
+  throw std::invalid_argument("unknown trace kind '" + name + "'");
+}
+
+/// Knobs of every trace process (only the active kind's block is read).
+/// Time-varying processes are parameterized in *fractions of the trace
+/// length*, so the same spec scales from test-sized to paper-sized runs.
+struct TraceSpec {
+  TraceKind kind = TraceKind::Static;
+
+  // --- FlashCrowd: hotspot demand ramps 0 → peak → 0 over a window. ---
+  /// Fraction of requests born in the crowd disc at the pulse peak.
+  double flash_peak = 0.9;
+  /// Pulse window as fractions of the trace, 0 <= start < end <= 1.
+  double flash_start = 0.25;
+  double flash_end = 0.75;
+  /// Crowd disc radius around the lattice center.
+  Hop flash_radius = 4;
+
+  // --- Diurnal: Zipf exponent gamma(t) = gamma + A sin(2π t·cycles/m). ---
+  /// Oscillation amplitude A; requires gamma - A >= 0.
+  double diurnal_amplitude = 0.4;
+  /// Full day/night cycles per trace.
+  std::uint32_t diurnal_cycles = 2;
+
+  // --- Churn: per epoch, a fresh subset of files goes offline. ---
+  /// Fraction of the library offline in any epoch, in [0, 1).
+  double churn_offline_fraction = 0.25;
+  /// Number of equal-length epochs per trace.
+  std::uint32_t churn_epochs = 8;
+
+  // --- TemporalLocality: redraw from the recent-request window. ---
+  /// Probability a request reuses a recently requested file.
+  double locality_prob = 0.3;
+  /// Size of the recency window (LRU stack depth).
+  std::uint32_t locality_depth = 64;
+
+  // --- Adversarial: hammer the k most popular files. ---
+  /// Fraction of requests the adversary redirects to the hot set.
+  double attack_fraction = 0.5;
+  /// Size of the hot set (top-k by popularity).
+  std::uint32_t attack_top_k = 4;
+};
+
+}  // namespace proxcache

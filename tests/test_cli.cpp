@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "core/config.hpp"
+
 namespace proxcache {
 namespace {
 
@@ -135,6 +137,32 @@ TEST(Cli, LastOccurrenceWins) {
   const auto argv = argv_of({"--n", "10", "--n", "20"});
   args.parse(static_cast<int>(argv.size()), argv.data());
   EXPECT_EQ(args.get_int("n"), 20);
+}
+
+// CLI-facing config validation: the knobs bench/example binaries forward
+// from the command line must be rejected by ExperimentConfig::validate()
+// before a run starts, not fail deep inside the simulator.
+
+TEST(CliConfigValidation, RejectsOutOfRangeBetaFromCli) {
+  ExperimentConfig config;
+  config.num_nodes = 100;
+  config.strategy.beta = 2.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(CliConfigValidation, RejectsHotspotRadiusCoveringTheLattice) {
+  ExperimentConfig config;
+  config.num_nodes = 100;  // side 10
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_radius = 12;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(CliConfigValidation, RejectsZeroStaleBatchFromCli) {
+  ExperimentConfig config;
+  config.num_nodes = 100;
+  config.strategy.stale_batch = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+// Golden-master determinism tests: lock in the documented seed contract.
+// For fixed configs covering each strategy/fallback combination,
+// `run_experiment` metrics must be bit-identical across thread-pool sizes
+// {nullptr, 1, 4} and across repeated invocations — and the default-config
+// Static trace must keep reproducing the exact numbers it produced before
+// the TraceSource refactor.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "scenario/registry.hpp"
+
+namespace proxcache {
+namespace {
+
+/// All runner-visible metrics of two results must agree exactly —
+/// EXPECT_EQ on doubles is deliberate (bitwise-equal aggregation, not
+/// "close enough").
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.max_load.mean(), b.max_load.mean());
+  EXPECT_EQ(a.max_load.variance(), b.max_load.variance());
+  EXPECT_EQ(a.comm_cost.mean(), b.comm_cost.mean());
+  EXPECT_EQ(a.comm_cost.variance(), b.comm_cost.variance());
+  EXPECT_EQ(a.fallback_rate, b.fallback_rate);
+  EXPECT_EQ(a.resample_rate, b.resample_rate);
+  EXPECT_EQ(a.drop_rate, b.drop_rate);
+  EXPECT_EQ(a.pooled_load_histogram.total(),
+            b.pooled_load_histogram.total());
+  EXPECT_EQ(a.pooled_load_histogram.counts(),
+            b.pooled_load_histogram.counts());
+}
+
+void expect_pool_invariant(const ExperimentConfig& config) {
+  const std::size_t runs = 6;
+  const ExperimentResult sequential = run_experiment(config, runs, nullptr);
+  ThreadPool single(1);
+  const ExperimentResult one_thread = run_experiment(config, runs, &single);
+  ThreadPool quad(4);
+  const ExperimentResult four_threads = run_experiment(config, runs, &quad);
+  const ExperimentResult again = run_experiment(config, runs, &quad);
+  expect_identical(sequential, one_thread);
+  expect_identical(sequential, four_threads);
+  expect_identical(sequential, again);
+}
+
+// Config 1: Strategy I (nearest replica) + Resample missing-file policy.
+TEST(Determinism, NearestReplicaResample) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 0.9;
+  config.strategy.kind = StrategyKind::NearestReplica;
+  config.seed = 101;
+  expect_pool_invariant(config);
+}
+
+// Config 2: Strategy II, finite radius, ExpandRadius fallback.
+TEST(Determinism, TwoChoiceExpandRadius) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 5;
+  config.strategy.fallback = FallbackPolicy::ExpandRadius;
+  config.seed = 202;
+  expect_pool_invariant(config);
+}
+
+// Config 3: Strategy II with NearestReplica fallback, stale loads, (1+β)
+// mixing, hotspot origins, and the Drop missing-file policy.
+TEST(Determinism, TwoChoiceNearestFallbackStaleBeta) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 4;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 1.1;
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_fraction = 0.5;
+  config.origins.hotspot_radius = 3;
+  config.missing = MissingFilePolicy::Drop;
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 4;
+  config.strategy.fallback = FallbackPolicy::NearestReplica;
+  config.strategy.beta = 0.8;
+  config.strategy.stale_batch = 4;
+  config.seed = 303;
+  expect_pool_invariant(config);
+}
+
+// The scenario engine inherits the contract: a time-varying trace process
+// is just as pool-invariant as the static one.
+TEST(Determinism, ScenarioTraceSourcesArePoolInvariant) {
+  ExperimentConfig config = ScenarioRegistry::built_ins()
+                                .at("flash-crowd")
+                                .config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.seed = 404;
+  expect_pool_invariant(config);
+
+  config = ScenarioRegistry::built_ins().at("churn").config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.seed = 505;
+  expect_pool_invariant(config);
+}
+
+// Golden master for the Static seed contract: the default config's first
+// run produced exactly these numbers before the TraceSource refactor, and
+// must keep producing them. Every quantity below is integer-derived
+// (uniform popularity, hop counts), so the values are platform-portable.
+TEST(Determinism, StaticSeedContractGoldenMaster) {
+  const ExperimentConfig config;  // n=2025, K=500, M=10, seed=0x5EED
+  const RunResult result = run_simulation(config, 0);
+  EXPECT_EQ(result.max_load, 3u);
+  EXPECT_EQ(result.requests, 2025u);
+  EXPECT_EQ(result.fallbacks, 0u);
+  EXPECT_EQ(result.resampled, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+  // Mean hops per request; an exact rational (total hops / 2025).
+  EXPECT_DOUBLE_EQ(result.comm_cost, 22.430617283950617);
+}
+
+// Golden master for the Hotspot origin draw order (bernoulli, then disc or
+// uniform draw): these values were produced by the pre-TraceSource
+// `generate_trace` at the same seed and must never change. Uniform
+// popularity keeps every quantity integer-derived and platform-portable.
+TEST(Determinism, HotspotSeedContractGoldenMaster) {
+  ExperimentConfig config;
+  config.num_nodes = 1024;
+  config.num_files = 300;
+  config.cache_size = 8;
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_fraction = 0.6;
+  config.origins.hotspot_radius = 4;
+  config.strategy.kind = StrategyKind::NearestReplica;
+  config.seed = 1234;
+  const RunResult result = run_simulation(config, 0);
+  EXPECT_EQ(result.max_load, 14u);
+  EXPECT_EQ(result.requests, 1024u);
+  EXPECT_EQ(result.resampled, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_DOUBLE_EQ(result.comm_cost, 3.9404296875);
+}
+
+}  // namespace
+}  // namespace proxcache

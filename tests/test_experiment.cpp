@@ -70,5 +70,92 @@ TEST(Experiment, MoreRunsShrinkStandardError) {
             few.comm_cost.standard_error() + 1e-9);
 }
 
+// --- ExperimentConfig::validate() hardening --------------------------------
+
+TEST(ConfigValidation, RejectsBetaOutsideUnitInterval) {
+  ExperimentConfig config = base_config();
+  config.strategy.beta = 1.5;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.strategy.beta = -0.1;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsZeroStaleBatch) {
+  ExperimentConfig config = base_config();
+  config.strategy.stale_batch = 0;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsHotspotFractionOutsideUnitInterval) {
+  ExperimentConfig config = base_config();
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_fraction = 1.2;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsHotspotRadiusReachingLatticeSide) {
+  ExperimentConfig config = base_config();  // n=100, side 10
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_radius = 10;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.origins.hotspot_radius = 9;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ConfigValidation, RejectsHotspotOriginsWithFlashCrowd) {
+  // FlashCrowd defines its own time-varying origin process; a static
+  // hotspot OriginSpec would be silently ignored, so it is rejected.
+  ExperimentConfig config = base_config();
+  config.trace.kind = TraceKind::FlashCrowd;
+  config.origins.kind = OriginKind::Hotspot;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsInvertedFlashWindow) {
+  ExperimentConfig config = base_config();
+  config.trace.kind = TraceKind::FlashCrowd;
+  config.trace.flash_start = 0.8;
+  config.trace.flash_end = 0.2;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsDiurnalAmplitudeExceedingGamma) {
+  ExperimentConfig config = base_config();
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 0.3;
+  config.trace.kind = TraceKind::Diurnal;
+  config.trace.diurnal_amplitude = 0.5;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsDiurnalOnUniformCatalog) {
+  ExperimentConfig config = base_config();
+  config.trace.kind = TraceKind::Diurnal;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsFullChurn) {
+  ExperimentConfig config = base_config();
+  config.trace.kind = TraceKind::Churn;
+  config.trace.churn_offline_fraction = 1.0;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsZeroLocalityDepth) {
+  ExperimentConfig config = base_config();
+  config.trace.kind = TraceKind::TemporalLocality;
+  config.trace.locality_depth = 0;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsAttackTopKBeyondLibrary) {
+  ExperimentConfig config = base_config();  // K=20
+  config.trace.kind = TraceKind::Adversarial;
+  config.trace.attack_top_k = 21;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.trace.attack_top_k = 0;
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace proxcache

@@ -1,0 +1,136 @@
+// Statistical envelope tests for the scenario generators: chi-square
+// goodness-of-fit of long fixed-seed traces against each source's declared
+// marginal distribution (see the per-class docs in scenario/generators.hpp).
+// Seeds are fixed, so these never flake — the thresholds only guard against
+// a generator drifting away from its declared law.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/generators.hpp"
+#include "stats/gof.hpp"
+#include "topology/shells.hpp"
+
+namespace proxcache {
+namespace {
+
+constexpr std::size_t kTraceLength = 250000;
+
+std::vector<std::uint64_t> origin_counts(TraceSource& source,
+                                         std::size_t num_nodes, Rng& rng) {
+  std::vector<std::uint64_t> counts(num_nodes, 0);
+  for (std::size_t i = 0; i < kTraceLength; ++i) {
+    ++counts[source.next(rng).origin];
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> file_counts(TraceSource& source,
+                                       std::size_t num_files, Rng& rng) {
+  std::vector<std::uint64_t> counts(num_files, 0);
+  for (std::size_t i = 0; i < kTraceLength; ++i) {
+    ++counts[source.next(rng).file];
+  }
+  return counts;
+}
+
+TEST(ScenarioStats, FlashCrowdOriginsMatchDeclaredMarginal) {
+  const Lattice lattice(10, Wrap::Torus);
+  TraceSpec spec;
+  spec.kind = TraceKind::FlashCrowd;
+  spec.flash_peak = 0.8;
+  spec.flash_start = 0.2;
+  spec.flash_end = 0.8;
+  spec.flash_radius = 2;
+  FlashCrowdTraceSource source(lattice, Popularity::uniform(5), spec,
+                               kTraceLength);
+  // Declared origin marginal: mixture of uniform-over-n and
+  // uniform-over-disc with the exact mean pulse weight.
+  const double mean_pulse = source.mean_pulse();
+  const std::size_t n = lattice.size();
+  std::vector<double> expected(n, (1.0 - mean_pulse) / static_cast<double>(n));
+  for (const NodeId u : source.disc()) {
+    expected[u] += mean_pulse / static_cast<double>(source.disc().size());
+  }
+  Rng rng(2024);
+  const auto counts = origin_counts(source, n, rng);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+TEST(ScenarioStats, DiurnalFilesMatchPhaseMixture) {
+  TraceSpec spec;
+  spec.kind = TraceKind::Diurnal;
+  spec.diurnal_amplitude = 0.5;
+  spec.diurnal_cycles = 2;
+  DiurnalTraceSource source(OriginModel(100), Popularity::zipf(30, 1.0), spec,
+                            kTraceLength);
+  const std::vector<double> expected = source.marginal_pmf();
+  Rng rng(2025);
+  const auto counts = file_counts(source, 30, rng);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+TEST(ScenarioStats, DiurnalMarginalDiffersFromBaseZipf) {
+  // Sanity check on the test itself: the phase mixture is measurably
+  // different from the base Zipf law, so the GOF above is not vacuous.
+  TraceSpec spec;
+  spec.kind = TraceKind::Diurnal;
+  spec.diurnal_amplitude = 0.5;
+  spec.diurnal_cycles = 2;
+  DiurnalTraceSource source(OriginModel(100), Popularity::zipf(30, 1.0), spec,
+                            kTraceLength);
+  const std::vector<double> base = Popularity::zipf(30, 1.0).pmf();
+  Rng rng(2025);
+  const auto counts = file_counts(source, 30, rng);
+  EXPECT_LT(chi_square_pvalue(counts, base), 1e-4);
+}
+
+TEST(ScenarioStats, TemporalLocalityMarginalIsBasePopularity) {
+  // Reuse redraws resample past draws, so the stationary marginal equals
+  // the base law. Reuse also correlates consecutive requests, which
+  // inflates the chi-square statistic relative to i.i.d. sampling — hence
+  // the more lenient (still fixed-seed-deterministic) threshold.
+  TraceSpec spec;
+  spec.kind = TraceKind::TemporalLocality;
+  spec.locality_prob = 0.3;
+  spec.locality_depth = 32;
+  TemporalLocalityTraceSource source(OriginModel(100), Popularity::zipf(20, 0.8), spec);
+  const std::vector<double> expected = Popularity::zipf(20, 0.8).pmf();
+  Rng rng(2026);
+  const auto counts = file_counts(source, 20, rng);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-6);
+}
+
+TEST(ScenarioStats, AdversarialFilesMatchAttackMixture) {
+  TraceSpec spec;
+  spec.kind = TraceKind::Adversarial;
+  spec.attack_fraction = 0.6;
+  spec.attack_top_k = 5;
+  AdversarialTraceSource source(OriginModel(100), Popularity::zipf(50, 1.0), spec);
+  const std::vector<double> expected = source.marginal_pmf();
+  Rng rng(2027);
+  const auto counts = file_counts(source, 50, rng);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+TEST(ScenarioStats, StaticHotspotOriginsMatchMixture) {
+  const Lattice lattice(10, Wrap::Torus);
+  OriginSpec origins;
+  origins.kind = OriginKind::Hotspot;
+  origins.hotspot_fraction = 0.5;
+  origins.hotspot_radius = 2;
+  StaticTraceSource source(lattice, origins, Popularity::uniform(5));
+  const std::vector<NodeId> disc =
+      collect_ball(lattice, lattice.node(Point{5, 5}), 2);
+  const std::size_t n = lattice.size();
+  std::vector<double> expected(n, 0.5 / static_cast<double>(n));
+  for (const NodeId u : disc) {
+    expected[u] += 0.5 / static_cast<double>(disc.size());
+  }
+  Rng rng(2028);
+  const auto counts = origin_counts(source, n, rng);
+  EXPECT_GT(chi_square_pvalue(counts, expected), 1e-4);
+}
+
+}  // namespace
+}  // namespace proxcache
