@@ -32,11 +32,12 @@ int run(const bench::BenchOptions& options) {
     config.seed = options.seed;
 
     config.strategy.kind = StrategyKind::NearestReplica;
-    const ExperimentResult nearest = run_experiment(config, options.runs,
-                                                    &pool);
+    const ExperimentResult nearest =
+        run_experiment(SimulationContext(config), options.runs, &pool);
     config.strategy.kind = StrategyKind::TwoChoice;
     config.strategy.radius = kUnboundedRadius;
-    const ExperimentResult two = run_experiment(config, options.runs, &pool);
+    const ExperimentResult two =
+        run_experiment(SimulationContext(config), options.runs, &pool);
 
     table.add_row({Cell(scenario.name), Cell("nearest"),
                    Cell(nearest.max_load.mean(), 2),

@@ -1,0 +1,174 @@
+// Streaming-core throughput bench: drives the streaming request loop at
+// trace lengths the materialized pipeline could not hold in memory, and
+// reports requests/sec plus peak RSS for each strategy. The verdict checks
+// that peak RSS grows far less than a materialized trace would require —
+// the O(num_nodes) memory contract of SimulationContext::run.
+//
+// Emits BENCH_throughput.json (the repo's first perf-trajectory point; CI
+// uploads it as a workflow artifact).
+//
+//   $ ./micro_throughput                      # 10M streamed requests/strategy
+//   $ ./micro_throughput --requests 2000000   # faster CI setting
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/request.hpp"
+#include "core/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace proxcache;
+
+struct ThroughputRow {
+  std::string strategy;
+  std::uint64_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  Load max_load = 0;
+  double comm_cost = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("micro_throughput",
+                 "streaming request-loop throughput and peak-RSS bench");
+  args.add_int("requests", 10'000'000, "streamed requests per strategy run");
+  args.add_int("n", 2025, "number of servers (perfect square)");
+  args.add_int("files", 500, "catalog size K");
+  args.add_int("cache", 10, "cache slots M per server");
+  args.add_int("seed", 0x5EED, "root seed");
+  args.add_string("json", "BENCH_throughput.json",
+                  "output JSON path (empty = skip)");
+  try {
+    args.parse(argc, argv);
+  } catch (const CliError& error) {
+    std::cerr << error.what() << "\n\n" << args.help_text();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help_text();
+    return 0;
+  }
+
+  for (const char* name : {"requests", "n", "files", "cache"}) {
+    if (args.get_int(name) <= 0) {
+      std::cerr << "--" << name << " must be positive\n";
+      return 2;
+    }
+  }
+  const auto requests = static_cast<std::size_t>(args.get_int("requests"));
+  ExperimentConfig base;
+  base.num_nodes = static_cast<std::size_t>(args.get_int("n"));
+  base.num_files = static_cast<std::size_t>(args.get_int("files"));
+  base.cache_size = static_cast<std::size_t>(args.get_int("cache"));
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  base.num_requests = requests;
+
+  std::cout << "== micro_throughput ==\n"
+            << "streaming loop: n=" << base.num_nodes << ", K="
+            << base.num_files << ", M=" << base.cache_size << ", "
+            << requests << " requests per strategy\n\n";
+
+  const bench::ScopedBenchTimer bench_timer("micro_throughput");
+
+  // Warm up per-run state (placement, replica index, one short trace) so
+  // the RSS baseline already contains every O(num_nodes) allocation the
+  // timed runs make; any growth beyond it would scale with the trace.
+  {
+    ExperimentConfig warmup = base;
+    warmup.num_requests = 0;  // n requests
+    (void)SimulationContext(warmup).run(0);
+  }
+  const std::uint64_t rss_before = peak_rss_bytes();
+
+  struct StrategyCase {
+    const char* label;
+    StrategyKind kind;
+  };
+  const std::vector<StrategyCase> cases = {
+      {"nearest", StrategyKind::NearestReplica},
+      {"two-choice", StrategyKind::TwoChoice},
+  };
+
+  std::vector<ThroughputRow> rows;
+  Table table({"strategy", "requests", "seconds", "req/s", "max load",
+               "comm cost"});
+  for (const StrategyCase& entry : cases) {
+    ExperimentConfig config = base;
+    config.strategy.kind = entry.kind;
+    const SimulationContext context(config);
+    WallTimer timer;
+    const RunResult result = context.run(0);
+    ThroughputRow row;
+    row.strategy = entry.label;
+    row.requests = requests;
+    row.seconds = timer.seconds();
+    row.requests_per_sec =
+        row.seconds > 0.0 ? static_cast<double>(requests) / row.seconds : 0.0;
+    row.max_load = result.max_load;
+    row.comm_cost = result.comm_cost;
+    rows.push_back(row);
+    table.add_row({Cell(row.strategy), Cell(static_cast<double>(requests), 0),
+                   Cell(row.seconds, 3), Cell(row.requests_per_sec, 0),
+                   Cell(static_cast<double>(row.max_load), 0),
+                   Cell(row.comm_cost, 3)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  const std::uint64_t rss_peak = peak_rss_bytes();
+  const std::uint64_t rss_growth =
+      rss_peak > rss_before ? rss_peak - rss_before : 0;
+  const std::uint64_t materialized_bytes =
+      static_cast<std::uint64_t>(requests) * sizeof(Request);
+  std::cout << "peak RSS:        " << rss_peak / (1024.0 * 1024.0)
+            << " MiB\n"
+            << "RSS growth:      " << rss_growth / (1024.0 * 1024.0)
+            << " MiB during the timed streaming runs\n"
+            << "materialized:    " << materialized_bytes / (1024.0 * 1024.0)
+            << " MiB a trace vector would have needed per run\n\n";
+  bench::print_verdict(
+      rss_growth + (1u << 20) < materialized_bytes,
+      "streaming keeps peak memory independent of trace length");
+
+  const std::string json_path = args.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"micro_throughput\",\n"
+         << "  \"num_nodes\": " << base.num_nodes << ",\n"
+         << "  \"num_files\": " << base.num_files << ",\n"
+         << "  \"cache_size\": " << base.cache_size << ",\n"
+         << "  \"requests_per_run\": " << requests << ",\n"
+         << "  \"seed\": " << base.seed << ",\n"
+         << "  \"peak_rss_bytes\": " << rss_peak << ",\n"
+         << "  \"rss_growth_bytes\": " << rss_growth << ",\n"
+         << "  \"materialized_trace_bytes\": " << materialized_bytes << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ThroughputRow& row = rows[i];
+      json << "    {\"strategy\": \"" << row.strategy << "\", "
+           << "\"requests\": " << row.requests << ", "
+           << "\"seconds\": " << row.seconds << ", "
+           << "\"requests_per_sec\": " << row.requests_per_sec << ", "
+           << "\"max_load\": " << row.max_load << ", "
+           << "\"comm_cost\": " << row.comm_cost << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "[json] wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -114,7 +114,10 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
-      const ExperimentResult result = run_experiment(config, runs, &pool);
+      // One SimulationContext per cell: lattice + popularity are built
+      // once and shared by every replication on the pool.
+      const SimulationContext context(config);
+      const ExperimentResult result = run_experiment(context, runs, &pool);
       table.add_row({Cell(scenario->name), Cell(strategy.label),
                      Cell(result.max_load.mean(), 2),
                      Cell(result.max_load.standard_error(), 2),

@@ -34,23 +34,28 @@ ExperimentResult aggregate(const std::vector<RunResult>& results) {
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& config,
+ExperimentResult run_experiment(const SimulationContext& context,
                                 std::size_t runs, ThreadPool* pool) {
   PROXCACHE_REQUIRE(runs >= 1, "need >= 1 replication");
-  config.validate();
 
   std::vector<RunResult> results;
   if (pool == nullptr || pool->size() == 1) {
     results.reserve(runs);
     for (std::size_t i = 0; i < runs; ++i) {
-      results.push_back(run_simulation(config, i));
+      results.push_back(context.run(i));
     }
   } else {
-    results = parallel_map(*pool, runs, [&config](std::size_t i) {
-      return run_simulation(config, i);
+    results = parallel_map(*pool, runs, [&context](std::size_t i) {
+      return context.run(i);
     });
   }
   return aggregate(results);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::size_t runs, ThreadPool* pool) {
+  PROXCACHE_REQUIRE(runs >= 1, "need >= 1 replication");
+  return run_experiment(SimulationContext(config), runs, pool);
 }
 
 }  // namespace proxcache

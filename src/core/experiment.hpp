@@ -26,8 +26,16 @@ struct ExperimentResult {
   std::size_t runs = 0;
 };
 
-/// Run `runs` independent replications of `config` on `pool` (sequentially
-/// when `pool` is nullptr).
+/// Run `runs` independent replications sharing `context`'s per-config
+/// state (lattice, popularity) across all of them, on `pool` (sequentially
+/// when `pool` is nullptr). Replications are submitted to the pool in
+/// worker-sized batches, not one future per run.
+ExperimentResult run_experiment(const SimulationContext& context,
+                                std::size_t runs,
+                                ThreadPool* pool = nullptr);
+
+/// Convenience overload: builds the SimulationContext from `config` once,
+/// then runs as above.
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 std::size_t runs,
                                 ThreadPool* pool = nullptr);

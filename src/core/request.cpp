@@ -1,10 +1,9 @@
 #include "core/request.hpp"
 
-#include <stdexcept>
+#include <string>
 
-#include "random/alias_sampler.hpp"
 #include "scenario/generators.hpp"
-#include "util/contracts.hpp"
+#include "scenario/trace_source.hpp"
 
 namespace proxcache {
 
@@ -28,54 +27,42 @@ std::vector<Request> generate_trace(const Lattice& lattice,
   return materialize(source, count, rng);
 }
 
+namespace {
+
+/// Replays an already-materialized trace as a TraceSource (no rng draws).
+class ReplaySource final : public TraceSource {
+ public:
+  explicit ReplaySource(const std::vector<Request>& trace) : trace_(&trace) {}
+  Request next(Rng& /*rng*/) override { return (*trace_)[index_++]; }
+  [[nodiscard]] std::string describe() const override { return "replay"; }
+
+ private:
+  const std::vector<Request>* trace_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
 SanitizeStats sanitize_trace(std::vector<Request>& trace,
                              const Placement& placement,
                              const Popularity& popularity,
                              MissingFilePolicy policy, Rng& rng) {
-  SanitizeStats stats;
-  const auto is_cached = [&](FileId j) {
-    return placement.replica_count(j) > 0;
-  };
-
-  if (policy == MissingFilePolicy::Strict) {
-    for (const Request& request : trace) {
-      if (!is_cached(request.file)) {
-        throw std::runtime_error(
-            "request for uncached file " + std::to_string(request.file) +
-            " under Strict missing-file policy");
-      }
-    }
-    return stats;
+  // Compatibility shim over the streaming decorator — the single
+  // implementation of the missing-file policies. The caller's rng doubles
+  // as the repair stream, which preserves the historical draw order: the
+  // trace was generated first, so every repair draw follows every
+  // generation draw on that stream. Admitted requests are compacted in
+  // place (the replay cursor never trails the write cursor).
+  ReplaySource replay(trace);
+  SanitizingTraceSource sanitized(replay, trace.size(), placement, popularity,
+                                  policy, rng);
+  std::size_t write = 0;
+  Request request;
+  while (sanitized.try_next(rng, request)) {
+    trace[write++] = request;
   }
-
-  if (policy == MissingFilePolicy::Drop) {
-    std::vector<Request> kept;
-    kept.reserve(trace.size());
-    for (const Request& request : trace) {
-      if (is_cached(request.file)) {
-        kept.push_back(request);
-      } else {
-        ++stats.dropped;
-      }
-    }
-    trace = std::move(kept);
-    return stats;
-  }
-
-  // Resample: redraw offending files from P restricted to cached files via
-  // rejection. Guard against the empty-support pathology first.
-  bool any_cached = placement.files_with_replicas() > 0;
-  const AliasSampler sampler(popularity.pmf());
-  for (Request& request : trace) {
-    if (is_cached(request.file)) continue;
-    PROXCACHE_REQUIRE(any_cached,
-                      "no file has any replica; cannot resample trace");
-    ++stats.resampled;
-    do {
-      request.file = sampler.sample(rng);
-    } while (!is_cached(request.file));
-  }
-  return stats;
+  trace.resize(write);
+  return sanitized.stats();
 }
 
 }  // namespace proxcache

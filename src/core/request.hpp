@@ -51,7 +51,9 @@ std::vector<Request> generate_trace(const Lattice& lattice,
 /// per `policy`. Resample redraws the file from `popularity` (rejection
 /// sampling over the cached subset); Drop erases offending requests; Strict
 /// throws std::runtime_error on the first offender. Throws if no file has
-/// any replica while offenders exist.
+/// any replica while offenders exist. Compatibility shim over the
+/// streaming `SanitizingTraceSource` decorator (scenario/trace_source.hpp),
+/// which the simulation loop uses directly without materializing a trace.
 SanitizeStats sanitize_trace(std::vector<Request>& trace,
                              const Placement& placement,
                              const Popularity& popularity,

@@ -1,5 +1,6 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/metrics.hpp"
@@ -14,56 +15,80 @@
 
 namespace proxcache {
 
-RunResult run_simulation(const ExperimentConfig& config,
-                         std::uint64_t run_index) {
-  config.validate();
+namespace {
 
-  const Lattice lattice = Lattice::from_node_count(config.num_nodes,
-                                                   config.wrap);
-  const Popularity popularity =
-      config.popularity.materialize(config.num_files);
+const ExperimentConfig& validated(const ExperimentConfig& config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+SimulationContext::SimulationContext(const ExperimentConfig& config)
+    : config_(validated(config)),
+      lattice_(Lattice::from_node_count(config_.num_nodes, config_.wrap)),
+      popularity_(config_.popularity.materialize(config_.num_files)) {}
+
+RunResult SimulationContext::run(std::uint64_t run_index) const {
+  const std::size_t horizon = config_.effective_requests();
 
   Rng placement_rng(
-      derive_seed(config.seed, {run_index, seed_phase::kPlacement}));
+      derive_seed(config_.seed, {run_index, seed_phase::kPlacement}));
   const Placement placement =
-      Placement::generate(config.num_nodes, popularity, config.cache_size,
-                          config.placement_mode, placement_rng);
+      Placement::generate(config_.num_nodes, popularity_, config_.cache_size,
+                          config_.placement_mode, placement_rng);
 
-  Rng trace_rng(derive_seed(config.seed, {run_index, seed_phase::kTrace}));
-  const std::unique_ptr<TraceSource> source = make_trace_source(
-      config, lattice, popularity, config.effective_requests());
-  std::vector<Request> trace =
-      materialize(*source, config.effective_requests(), trace_rng);
-  const SanitizeStats sanitize =
-      sanitize_trace(trace, placement, popularity, config.missing, trace_rng);
+  Rng trace_rng(derive_seed(config_.seed, {run_index, seed_phase::kTrace}));
+  const std::unique_ptr<TraceSource> source =
+      make_trace_source(config_, lattice_, popularity_, horizon);
 
-  const ReplicaIndex index(lattice, placement);
+  // Repair-stream contract: the materialized pipeline drew all Resample
+  // repairs *after* the full generation sequence, on the one trace-phase
+  // stream. When the placement leaves files uncached, advance a scout copy
+  // of that stream through the whole generation sequence to find the repair
+  // start state (a second source instance replays the identical request
+  // sequence — all generator state is deterministic in the rng). With full
+  // coverage no repair draw ever happens, so the scout pass is skipped.
+  Rng repair_rng = trace_rng;
+  if (config_.missing == MissingFilePolicy::Resample &&
+      placement.files_with_replicas() < config_.num_files) {
+    const std::unique_ptr<TraceSource> scout =
+        make_trace_source(config_, lattice_, popularity_, horizon);
+    for (std::size_t i = 0; i < horizon; ++i) {
+      (void)scout->next(repair_rng);
+    }
+  }
+  SanitizingTraceSource sanitized(*source, horizon, placement, popularity_,
+                                  config_.missing, repair_rng);
+
+  const ReplicaIndex index(lattice_, placement);
   std::unique_ptr<Strategy> strategy;
-  if (config.strategy.kind == StrategyKind::NearestReplica) {
+  if (config_.strategy.kind == StrategyKind::NearestReplica) {
     strategy = std::make_unique<NearestReplicaStrategy>(index);
   } else {
     TwoChoiceOptions options;
-    options.radius = config.strategy.radius;
-    options.num_choices = config.strategy.num_choices;
-    options.with_replacement = config.strategy.with_replacement;
-    options.fallback = config.strategy.fallback;
-    options.beta = config.strategy.beta;
+    options.radius = config_.strategy.radius;
+    options.num_choices = config_.strategy.num_choices;
+    options.with_replacement = config_.strategy.with_replacement;
+    options.fallback = config_.strategy.fallback;
+    options.beta = config_.strategy.beta;
     strategy = std::make_unique<TwoChoiceStrategy>(index, options);
   }
 
   Rng strategy_rng(
-      derive_seed(config.seed, {run_index, seed_phase::kStrategy}));
-  LoadTracker tracker(config.num_nodes);
+      derive_seed(config_.seed, {run_index, seed_phase::kStrategy}));
+  LoadTracker tracker(config_.num_nodes);
   // Stale-information model (§VI): the strategy compares loads from a
   // periodically refreshed snapshot instead of the live tracker.
   std::unique_ptr<StaleLoadView> stale;
-  if (config.strategy.stale_batch > 1) {
+  if (config_.strategy.stale_batch > 1) {
     stale = std::make_unique<StaleLoadView>(tracker,
-                                            config.strategy.stale_batch);
+                                            config_.strategy.stale_batch);
   }
   const LoadView& load_view = stale ? static_cast<const LoadView&>(*stale)
                                     : static_cast<const LoadView&>(tracker);
-  for (const Request& request : trace) {
+  Request request;
+  while (sanitized.try_next(trace_rng, request)) {
     const Assignment assignment =
         strategy->assign(request, load_view, strategy_rng);
     if (assignment.fallback) tracker.note_fallback();
@@ -74,6 +99,7 @@ RunResult run_simulation(const ExperimentConfig& config,
     tracker.assign(assignment.server, assignment.hops);
     if (stale) stale->on_assignment(tracker.assigned());
   }
+  const SanitizeStats& sanitize = sanitized.stats();
 
   RunResult result;
   result.max_load = tracker.max_load();
@@ -90,6 +116,11 @@ RunResult run_simulation(const ExperimentConfig& config,
   }
   result.files_with_replicas = placement.files_with_replicas();
   return result;
+}
+
+RunResult run_simulation(const ExperimentConfig& config,
+                         std::uint64_t run_index) {
+  return SimulationContext(config).run(run_index);
 }
 
 }  // namespace proxcache

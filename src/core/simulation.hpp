@@ -1,9 +1,17 @@
 #pragma once
 /// \file simulation.hpp
 /// One complete simulated time block (paper §II-B): cache placement →
-/// trace source (scenario/trace_source.hpp) → sequential assignment →
-/// metrics. A run is a pure function of (config, run_index): all
-/// randomness derives from `derive_seed(config.seed, {run_index, phase})`.
+/// trace source (scenario/trace_source.hpp) → streaming sanitize →
+/// sequential assignment → metrics. A run is a pure function of
+/// (config, run_index): all randomness derives from
+/// `derive_seed(config.seed, {run_index, phase})`.
+///
+/// The request loop *streams*: requests are drawn, sanitized, and assigned
+/// one at a time, so peak memory is O(num_nodes) regardless of
+/// `effective_requests()` — traces of tens of millions of requests run in
+/// constant space. `SimulationContext` factors out the per-config state
+/// (lattice, materialized popularity) so replications share it instead of
+/// rebuilding it per run.
 
 #include <cstdint>
 
@@ -27,7 +35,34 @@ struct RunResult {
   std::size_t files_with_replicas = 0;
 };
 
-/// Execute one run of the configured experiment.
+/// Immutable per-config state shared by every replication of one
+/// experiment: the validated config plus the materialized lattice and
+/// popularity profile. Construct once, then call `run` from any thread —
+/// `run` is const and builds only per-run state (placement, replica index,
+/// strategy, tracker), all sized by the network, never by the trace.
+class SimulationContext {
+ public:
+  /// Validates `config` (throws std::invalid_argument when inconsistent)
+  /// and materializes the shared state once.
+  explicit SimulationContext(const ExperimentConfig& config);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const Lattice& lattice() const { return lattice_; }
+  [[nodiscard]] const Popularity& popularity() const { return popularity_; }
+
+  /// Execute replication `run_index` with the streaming request loop.
+  /// Bit-identical to the historical materialize-then-iterate pipeline.
+  [[nodiscard]] RunResult run(std::uint64_t run_index) const;
+
+ private:
+  ExperimentConfig config_;
+  Lattice lattice_;
+  Popularity popularity_;
+};
+
+/// Execute one run of the configured experiment. One-shot convenience over
+/// `SimulationContext`; loops over replications should construct the
+/// context once instead.
 RunResult run_simulation(const ExperimentConfig& config,
                          std::uint64_t run_index);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "scenario/generators.hpp"
+#include "util/contracts.hpp"
 
 namespace proxcache {
 
@@ -15,6 +16,68 @@ std::vector<Request> materialize(TraceSource& source, std::size_t count,
     trace.push_back(source.next(rng));
   }
   return trace;
+}
+
+SanitizingTraceSource::SanitizingTraceSource(TraceSource& inner,
+                                             std::size_t horizon,
+                                             const Placement& placement,
+                                             const Popularity& popularity,
+                                             MissingFilePolicy policy,
+                                             Rng& repair_rng)
+    : inner_(&inner),
+      horizon_(horizon),
+      placement_(&placement),
+      popularity_(&popularity),
+      policy_(policy),
+      repair_rng_(&repair_rng),
+      any_cached_(placement.files_with_replicas() > 0) {}
+
+bool SanitizingTraceSource::try_next(Rng& rng, Request& out) {
+  while (consumed_ < horizon_) {
+    Request request = inner_->next(rng);
+    ++consumed_;
+    if (placement_->replica_count(request.file) > 0) {
+      out = request;
+      return true;
+    }
+    switch (policy_) {
+      case MissingFilePolicy::Strict:
+        throw std::runtime_error(
+            "request for uncached file " + std::to_string(request.file) +
+            " under Strict missing-file policy");
+      case MissingFilePolicy::Drop:
+        ++stats_.dropped;
+        continue;
+      case MissingFilePolicy::Resample: {
+        // Redraw from P restricted to cached files via rejection; guard the
+        // empty-support pathology first.
+        PROXCACHE_REQUIRE(any_cached_,
+                          "no file has any replica; cannot resample trace");
+        if (!sampler_) sampler_.emplace(popularity_->pmf());
+        ++stats_.resampled;
+        do {
+          request.file = sampler_->sample(*repair_rng_);
+        } while (placement_->replica_count(request.file) == 0);
+        out = request;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Request SanitizingTraceSource::next(Rng& rng) {
+  Request request;
+  const bool available = try_next(rng, request);
+  PROXCACHE_REQUIRE(available, "sanitizing trace source exhausted");
+  return request;
+}
+
+std::string SanitizingTraceSource::describe() const {
+  const char* policy = policy_ == MissingFilePolicy::Resample ? "resample"
+                       : policy_ == MissingFilePolicy::Drop   ? "drop"
+                                                              : "strict";
+  return inner_->describe() + " | sanitize(" + policy + ")";
 }
 
 std::unique_ptr<TraceSource> make_trace_source(const ExperimentConfig& config,

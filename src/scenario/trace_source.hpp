@@ -18,11 +18,13 @@
 /// source's declared marginal when a placement leaves files uncached.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/request.hpp"
+#include "random/alias_sampler.hpp"
 
 namespace proxcache {
 
@@ -40,9 +42,67 @@ class TraceSource {
   [[nodiscard]] virtual std::string describe() const = 0;
 };
 
-/// Drain `count` requests from `source` into a vector.
+/// Drain `count` requests from `source` into a vector. Compatibility shim
+/// for tests and offline trace inspection — the simulation loop streams
+/// requests one at a time (`SimulationContext::run`) and never materializes
+/// a trace.
 std::vector<Request> materialize(TraceSource& source, std::size_t count,
                                  Rng& rng);
+
+/// Streaming decorator over a `TraceSource`: applies the missing-file
+/// policies of `sanitize_trace` (core/request.hpp) one request at a time,
+/// so the trace never exists in memory. Draws up to `horizon` requests
+/// from `inner`, and per request either passes it through (file cached),
+/// redraws its file (Resample), silently skips it (Drop, counted), or
+/// throws (Strict) — exactly the per-request behavior of the materialized
+/// sanitize pass, in the same order.
+///
+/// Draw-order contract (bit-compatibility with the materialized pipeline):
+/// generation draws come from the rng passed to `try_next`; Resample repair
+/// draws come from the separate `repair_rng`. The materialized pipeline
+/// drew all repairs *after* the full generation sequence on one stream, so
+/// a caller that needs bit-identical results must position `repair_rng` at
+/// that post-generation state (see `SimulationContext::run`, which advances
+/// a scout copy only when the placement actually leaves files uncached —
+/// otherwise no repair draw ever happens and the position is irrelevant).
+class SanitizingTraceSource final : public TraceSource {
+ public:
+  /// `inner`, `placement`, `popularity`, and `repair_rng` must outlive this
+  /// decorator.
+  SanitizingTraceSource(TraceSource& inner, std::size_t horizon,
+                        const Placement& placement,
+                        const Popularity& popularity, MissingFilePolicy policy,
+                        Rng& repair_rng);
+
+  /// Produce the next admitted request, consuming inner requests (and
+  /// skipping Drop-rejected ones) as needed. Returns false once all
+  /// `horizon` inner requests are consumed.
+  bool try_next(Rng& rng, Request& out);
+
+  /// TraceSource conformance; throws std::invalid_argument when drained.
+  Request next(Rng& rng) override;
+
+  [[nodiscard]] std::string describe() const override;
+
+  /// Repair/drop counters accumulated so far (totals once drained).
+  [[nodiscard]] const SanitizeStats& stats() const { return stats_; }
+
+  /// Inner requests consumed so far (admitted + dropped).
+  [[nodiscard]] std::size_t consumed() const { return consumed_; }
+  [[nodiscard]] bool exhausted() const { return consumed_ == horizon_; }
+
+ private:
+  TraceSource* inner_;
+  std::size_t horizon_;
+  std::size_t consumed_ = 0;
+  const Placement* placement_;
+  const Popularity* popularity_;
+  MissingFilePolicy policy_;
+  Rng* repair_rng_;
+  bool any_cached_ = false;
+  std::optional<AliasSampler> sampler_;  // built lazily on the first repair
+  SanitizeStats stats_;
+};
 
 /// Build the trace source described by `config.trace` (falling back to the
 /// Static source over `config.origins` / `popularity`). `lattice` and

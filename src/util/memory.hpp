@@ -1,0 +1,32 @@
+#pragma once
+/// \file memory.hpp
+/// Process memory introspection for benches: peak resident set size, used
+/// by `micro_throughput` to demonstrate that the streaming request loop
+/// runs in O(num_nodes) space regardless of trace length.
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace proxcache {
+
+/// Peak resident set size of the calling process in bytes; 0 when the
+/// platform offers no getrusage. Linux reports ru_maxrss in KiB, macOS in
+/// bytes.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace proxcache

@@ -127,6 +127,56 @@ TEST(Determinism, StaticSeedContractGoldenMaster) {
   EXPECT_DOUBLE_EQ(result.comm_cost, 22.430617283950617);
 }
 
+// The streaming entry point inherits the golden numbers: a shared
+// SimulationContext must reproduce exactly what the one-shot
+// run_simulation produced before the streaming refactor, run after run.
+TEST(Determinism, SimulationContextMatchesStaticGoldenMaster) {
+  const ExperimentConfig config;  // n=2025, K=500, M=10, seed=0x5EED
+  const SimulationContext context(config);
+  const RunResult result = context.run(0);
+  EXPECT_EQ(result.max_load, 3u);
+  EXPECT_EQ(result.requests, 2025u);
+  EXPECT_EQ(result.fallbacks, 0u);
+  EXPECT_EQ(result.resampled, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_DOUBLE_EQ(result.comm_cost, 22.430617283950617);
+  // Context reuse never perturbs later runs: run 0 repeated after run 1
+  // must still match, and must agree with the one-shot entry point.
+  const RunResult later = context.run(1);
+  const RunResult again = context.run(0);
+  EXPECT_EQ(again.max_load, result.max_load);
+  EXPECT_EQ(again.comm_cost, result.comm_cost);
+  const RunResult oneshot = run_simulation(config, 1);
+  EXPECT_EQ(later.max_load, oneshot.max_load);
+  EXPECT_EQ(later.comm_cost, oneshot.comm_cost);
+  EXPECT_EQ(later.requests, oneshot.requests);
+}
+
+// One SimulationContext shared across a thread pool is as pool-invariant
+// as the config entry point.
+TEST(Determinism, SharedContextIsPoolInvariant) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 0.9;
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 5;
+  config.seed = 606;
+  const SimulationContext context(config);
+  const std::size_t runs = 6;
+  const ExperimentResult sequential = run_experiment(context, runs, nullptr);
+  ThreadPool single(1);
+  const ExperimentResult one_thread = run_experiment(context, runs, &single);
+  ThreadPool quad(4);
+  const ExperimentResult four_threads = run_experiment(context, runs, &quad);
+  expect_identical(sequential, one_thread);
+  expect_identical(sequential, four_threads);
+  // And the context overload agrees with the config overload bit-for-bit.
+  expect_identical(sequential, run_experiment(config, runs, nullptr));
+}
+
 // Golden master for the Hotspot origin draw order (bernoulli, then disc or
 // uniform draw): these values were produced by the pre-TraceSource
 // `generate_trace` at the same seed and must never change. Uniform

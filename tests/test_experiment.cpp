@@ -70,6 +70,32 @@ TEST(Experiment, MoreRunsShrinkStandardError) {
             few.comm_cost.standard_error() + 1e-9);
 }
 
+// Chunked-submission stress: 10k tiny replications on a multi-thread pool
+// must complete without allocating a future per run (submissions are
+// batched per worker) and stay bit-deterministic across invocations and
+// against the serial path.
+TEST(Experiment, TenThousandTinyReplicationsStressThePool) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.num_files = 4;
+  config.cache_size = 2;
+  config.num_requests = 8;
+  config.seed = 99;
+  const std::size_t runs = 10'000;
+  ThreadPool pool(4);
+  const SimulationContext context(config);
+  const ExperimentResult pooled = run_experiment(context, runs, &pool);
+  EXPECT_EQ(pooled.runs, runs);
+  EXPECT_EQ(pooled.max_load.count(), runs);
+  EXPECT_EQ(pooled.pooled_load_histogram.total(), runs * 16u);
+  const ExperimentResult again = run_experiment(context, runs, &pool);
+  EXPECT_EQ(pooled.max_load.mean(), again.max_load.mean());
+  EXPECT_EQ(pooled.comm_cost.mean(), again.comm_cost.mean());
+  const ExperimentResult serial = run_experiment(context, runs, nullptr);
+  EXPECT_EQ(pooled.max_load.mean(), serial.max_load.mean());
+  EXPECT_EQ(pooled.comm_cost.variance(), serial.comm_cost.variance());
+}
+
 // --- ExperimentConfig::validate() hardening --------------------------------
 
 TEST(ConfigValidation, RejectsBetaOutsideUnitInterval) {

@@ -36,6 +36,77 @@ TEST(StaleLoadView, RejectsZeroPeriod) {
   EXPECT_THROW(StaleLoadView(tracker, 0), std::invalid_argument);
 }
 
+// Refresh boundary, exactly: with period p the snapshot refreshes on the
+// p-th, 2p-th, … assignment and at no other point — off-by-one here would
+// silently shift every stale-information experiment.
+TEST(StaleLoadView, RefreshBoundaryIsExact) {
+  LoadTracker tracker(1);
+  StaleLoadView view(tracker, 3);
+  const std::vector<Load> expected_after = {0, 0, 3, 3, 3, 6, 6, 6, 9};
+  for (std::size_t step = 0; step < expected_after.size(); ++step) {
+    tracker.assign(0, 0);
+    view.on_assignment(tracker.assigned());
+    EXPECT_EQ(view.load(0), expected_after[step])
+        << "after assignment " << (step + 1);
+  }
+}
+
+// period == trace length: the only refresh lands on the very last
+// assignment, after every comparison already happened — so a run behaves
+// exactly like one whose snapshot never refreshes at all.
+TEST(StaleSimulation, PeriodEqualToTraceLengthMatchesNeverRefreshed) {
+  ExperimentConfig config;
+  config.num_nodes = 225;
+  config.num_files = 30;
+  config.cache_size = 5;
+  config.seed = 11;
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.stale_batch =
+      static_cast<std::uint32_t>(config.effective_requests());
+  const RunResult at_length = run_simulation(config, 0);
+  config.strategy.stale_batch = 1u << 30;  // never refreshes
+  const RunResult never = run_simulation(config, 0);
+  EXPECT_EQ(at_length.max_load, never.max_load);
+  EXPECT_EQ(at_length.comm_cost, never.comm_cost);
+  EXPECT_EQ(at_length.requests, never.requests);
+}
+
+// Fallback/drop events are not assignments: a run that only drops must
+// never advance the staleness clock (on_assignment is keyed to
+// tracker.assigned(), which stays 0).
+TEST(StaleLoadView, FallbacksAndDropsDoNotAdvanceTheClock) {
+  LoadTracker tracker(2);
+  StaleLoadView view(tracker, 1);
+  tracker.note_fallback();
+  tracker.drop();
+  tracker.note_fallback();
+  EXPECT_EQ(tracker.assigned(), 0u);
+  EXPECT_EQ(view.load(0), 0u);
+  EXPECT_EQ(view.load(1), 0u);
+  EXPECT_EQ(tracker.fallbacks(), 2u);
+  EXPECT_EQ(tracker.dropped(), 1u);
+}
+
+// End-to-end: a stale two-choice run where the tiny radius forces fallback
+// drops must complete with a consistent request ledger — every generated
+// request is either assigned or counted dropped.
+TEST(StaleSimulation, StaleRunWithFallbackDropsKeepsTheLedger) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 60;
+  config.cache_size = 2;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 1.1;
+  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy.radius = 1;
+  config.strategy.fallback = FallbackPolicy::Drop;
+  config.strategy.stale_batch = 5;
+  config.seed = 12;
+  const RunResult result = run_simulation(config, 0);
+  EXPECT_GT(result.dropped, 0u) << "radius 1 must provoke drops";
+  EXPECT_EQ(result.requests + result.dropped, config.effective_requests());
+}
+
 TEST(StaleSimulation, FreshEqualsPeriodOne) {
   ExperimentConfig fresh;
   fresh.num_nodes = 225;
