@@ -29,9 +29,8 @@ int run(const bench::BenchOptions& options) {
     config.num_nodes = 2025;
     config.num_files = 500;
     config.cache_size = 20;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 10;
-    config.strategy.num_choices = d;
+    config.strategy_spec = StrategySpec{
+        "two-choice", {{"d", static_cast<double>(d)}, {"r", 10.0}}};
     config.seed = options.seed;
     const ExperimentResult result =
         run_experiment(config, options.runs, &pool);

@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "strategy/registry.hpp"
 
 namespace {
 
@@ -36,9 +37,10 @@ int run(const bench::BenchOptions& options) {
     config.num_nodes = 1024;
     config.num_files = 200;
     config.cache_size = 2;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 2;  // starved: F_j(u) often < 2
-    config.strategy.fallback = policy.policy;
+    // r=2 starves the candidate set (F_j(u) often < 2) to exercise the
+    // fallback paths.
+    config.strategy_spec = StrategySpec{
+        "two-choice", {{"r", 2.0}, {"fallback", fallback_param(policy.policy)}}};
     config.seed = options.seed;
     const ExperimentResult result =
         run_experiment(config, options.runs, &pool);
@@ -75,8 +77,7 @@ int run(const bench::BenchOptions& options) {
     config.num_files = 500;
     config.cache_size = 20;
     config.wrap = wrap;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 10;
+    config.strategy_spec = parse_strategy_spec("two-choice(r=10)");
     config.seed = options.seed;
     const ExperimentResult result =
         run_experiment(config, options.runs, &pool);

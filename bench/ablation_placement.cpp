@@ -28,8 +28,7 @@ int run(const bench::BenchOptions& options) {
     config.num_nodes = 1024;
     config.num_files = 100;
     config.cache_size = m;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 8;
+    config.strategy_spec = parse_strategy_spec("two-choice(r=8)");
     config.seed = options.seed;
 
     config.placement_mode = PlacementMode::ProportionalWithReplacement;

@@ -38,7 +38,7 @@ int run(const bench::BenchOptions& options) {
     config.num_files = 16;
     config.cache_size = 16;
     config.placement_mode = PlacementMode::DistinctProportional;
-    config.strategy.kind = StrategyKind::TwoChoice;
+    config.strategy_spec = parse_strategy_spec("two-choice");
     config.seed = options.seed;
     examples.push_back({"Ex1: M=K, r=inf", config, "~log log n (classic)"});
   }
@@ -47,7 +47,7 @@ int run(const bench::BenchOptions& options) {
     config.num_nodes = n;
     config.num_files = n;
     config.cache_size = 1;
-    config.strategy.kind = StrategyKind::TwoChoice;
+    config.strategy_spec = parse_strategy_spec("two-choice");
     config.seed = options.seed;
     examples.push_back(
         {"Ex2: K=n, M=1, r=inf", config, ">= log n/log log n / M (bad)"});
@@ -57,7 +57,7 @@ int run(const bench::BenchOptions& options) {
     config.num_nodes = n;
     config.num_files = 64;  // sqrt(4096)
     config.cache_size = 1;
-    config.strategy.kind = StrategyKind::TwoChoice;
+    config.strategy_spec = parse_strategy_spec("two-choice");
     config.seed = options.seed;
     examples.push_back(
         {"Ex3: K=sqrt(n), M=1, r=inf", config, "O(log log n) (good)"});
@@ -68,8 +68,7 @@ int run(const bench::BenchOptions& options) {
     config.num_files = 16;
     config.cache_size = 16;
     config.placement_mode = PlacementMode::DistinctProportional;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 1;
+    config.strategy_spec = parse_strategy_spec("two-choice(r=1)");
     config.seed = options.seed;
     examples.push_back(
         {"Ex4: M=K, r=1", config, ">= (log n/log log n)/5 (bad)"});
@@ -125,8 +124,9 @@ int run(const bench::BenchOptions& options) {
       config.num_files = 16;
       config.cache_size = 16;
       config.placement_mode = PlacementMode::DistinctProportional;
-      config.strategy.kind = StrategyKind::TwoChoice;
-      if (proximal) config.strategy.radius = 1;
+      config.strategy_spec = proximal
+                                 ? parse_strategy_spec("two-choice(r=1)")
+                                 : parse_strategy_spec("two-choice");
       config.seed = options.seed;
       const double load =
           run_experiment(config, options.runs, &pool).max_load.mean();

@@ -33,11 +33,10 @@ int run(const bench::BenchOptions& options) {
     config.num_requests = beta * n;
     config.seed = options.seed;
 
-    config.strategy.kind = StrategyKind::NearestReplica;
+    config.strategy_spec = parse_strategy_spec("nearest");
     const ExperimentResult nearest =
         run_experiment(config, options.runs, &pool);
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 10;
+    config.strategy_spec = parse_strategy_spec("two-choice(r=10)");
     const ExperimentResult two = run_experiment(config, options.runs, &pool);
 
     const double base = static_cast<double>(beta);

@@ -31,8 +31,8 @@ int run(const bench::BenchOptions& options) {
       config.num_files = 500;
       config.cache_size = 20;
       config.seed = options.seed;
-      config.strategy.kind = StrategyKind::TwoChoice;
-      config.strategy.radius = r;
+      config.strategy_spec =
+          StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
       if (fractions[fi] > 0.0) {
         config.origins.kind = OriginKind::Hotspot;
         config.origins.hotspot_fraction = fractions[fi];

@@ -28,9 +28,8 @@ int run(const bench::BenchOptions& options) {
     config.num_files = 500;
     config.cache_size = 20;
     config.seed = options.seed;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 10;
-    config.strategy.beta = beta;
+    config.strategy_spec =
+        StrategySpec{"two-choice", {{"beta", beta}, {"r", 10.0}}};
     const ExperimentResult result =
         run_experiment(config, options.runs, &pool);
     loads.push_back(result.max_load.mean());

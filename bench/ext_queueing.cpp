@@ -30,11 +30,10 @@ int run(const bench::BenchOptions& options) {
     config.horizon = 150.0 + 10.0 * static_cast<double>(options.runs);
     config.warmup_fraction = 0.25;
 
-    config.network.strategy.kind = StrategyKind::TwoChoice;
-    config.network.strategy.radius = 8;
+    config.network.strategy_spec = parse_strategy_spec("two-choice(r=8)");
     const QueueingResult two = run_supermarket(config, options.seed);
 
-    config.network.strategy.kind = StrategyKind::NearestReplica;
+    config.network.strategy_spec = parse_strategy_spec("nearest");
     const QueueingResult nearest = run_supermarket(config, options.seed + 1);
 
     table.add_row({Cell(lambda, 2), Cell("two-choice(r=8)"),

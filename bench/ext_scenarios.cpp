@@ -31,11 +31,10 @@ int run(const bench::BenchOptions& options) {
     config.cache_size = 20;
     config.seed = options.seed;
 
-    config.strategy.kind = StrategyKind::NearestReplica;
+    config.strategy_spec = parse_strategy_spec("nearest");
     const ExperimentResult nearest =
         run_experiment(SimulationContext(config), options.runs, &pool);
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = kUnboundedRadius;
+    config.strategy_spec = parse_strategy_spec("two-choice(r=inf)");
     const ExperimentResult two =
         run_experiment(SimulationContext(config), options.runs, &pool);
 

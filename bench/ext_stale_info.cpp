@@ -28,9 +28,8 @@ int run(const bench::BenchOptions& options) {
     config.num_files = 500;
     config.cache_size = 20;
     config.seed = options.seed;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = 10;
-    config.strategy.stale_batch = period;
+    config.strategy_spec = StrategySpec{
+        "two-choice", {{"r", 10.0}, {"stale", static_cast<double>(period)}}};
     const ExperimentResult result =
         run_experiment(config, options.runs, &pool);
     loads.push_back(result.max_load.mean());

@@ -34,7 +34,7 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = n;
       config.num_files = 2000;
       config.cache_size = cache_sizes[mi];
-      config.strategy.kind = StrategyKind::TwoChoice;  // r = ∞ default
+      config.strategy_spec = parse_strategy_spec("two-choice");  // r = ∞ default
       config.seed = options.seed;
       const ExperimentResult result =
           run_experiment(config, options.runs, &pool);

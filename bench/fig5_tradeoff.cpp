@@ -35,8 +35,8 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = 2025;
       config.num_files = 500;
       config.cache_size = cache_sizes[mi];
-      config.strategy.kind = StrategyKind::TwoChoice;
-      config.strategy.radius = r;
+      config.strategy_spec =
+          StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
       config.seed = options.seed;
       const ExperimentResult result =
           run_experiment(config, options.runs, &pool);

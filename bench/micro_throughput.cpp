@@ -89,26 +89,26 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t rss_before = peak_rss_bytes();
 
-  struct StrategyCase {
-    const char* label;
-    StrategyKind kind;
-  };
-  const std::vector<StrategyCase> cases = {
-      {"nearest", StrategyKind::NearestReplica},
-      {"two-choice", StrategyKind::TwoChoice},
+  // The paper pair plus the registry's extension strategies, so every
+  // policy has a tracked requests/sec figure.
+  const std::vector<std::string> cases = {
+      "nearest",
+      "two-choice",
+      "least-loaded(r=8)",
+      "prox-weighted(d=2, alpha=1)",
   };
 
   std::vector<ThroughputRow> rows;
   Table table({"strategy", "requests", "seconds", "req/s", "max load",
                "comm cost"});
-  for (const StrategyCase& entry : cases) {
+  for (const std::string& entry : cases) {
     ExperimentConfig config = base;
-    config.strategy.kind = entry.kind;
+    config.strategy_spec = parse_strategy_spec(entry);
     const SimulationContext context(config);
     WallTimer timer;
     const RunResult result = context.run(0);
     ThroughputRow row;
-    row.strategy = entry.label;
+    row.strategy = entry;
     row.requests = requests;
     row.seconds = timer.seconds();
     row.requests_per_sec =

@@ -33,7 +33,7 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = n;
       config.num_files = 100;
       config.cache_size = 4;
-      config.strategy.kind = StrategyKind::NearestReplica;
+      config.strategy_spec = parse_strategy_spec("nearest");
       if (gammas[gi] > 0.0) {
         config.popularity.kind = PopularityKind::Zipf;
         config.popularity.gamma = gammas[gi];

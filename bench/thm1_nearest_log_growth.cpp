@@ -37,7 +37,7 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = n;
       config.num_files = std::max<std::size_t>(k, 2);
       config.cache_size = 1;  // M = Θ(1)
-      config.strategy.kind = StrategyKind::NearestReplica;
+      config.strategy_spec = parse_strategy_spec("nearest");
       config.seed = options.seed;
       const ExperimentResult result =
           run_experiment(config, options.runs, &pool);

@@ -38,7 +38,7 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = n;
       config.num_files = n;  // K = n
       config.cache_size = m;
-      config.strategy.kind = StrategyKind::NearestReplica;
+      config.strategy_spec = parse_strategy_spec("nearest");
       config.seed = options.seed;
       const ExperimentResult result =
           run_experiment(config, options.runs, &pool);

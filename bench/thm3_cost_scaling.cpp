@@ -41,7 +41,7 @@ int run(const bench::BenchOptions& options) {
       config.num_nodes = 2025;
       config.num_files = k;
       config.cache_size = cache_size;
-      config.strategy.kind = StrategyKind::NearestReplica;
+      config.strategy_spec = parse_strategy_spec("nearest");
       config.popularity.kind =
           uniform ? PopularityKind::Uniform : PopularityKind::Zipf;
       config.popularity.gamma = gamma;

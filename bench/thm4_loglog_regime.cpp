@@ -40,8 +40,8 @@ SweepResult sweep(const std::vector<std::size_t>& node_counts, double alpha,
     config.num_nodes = n;
     config.num_files = n;  // K = n
     config.cache_size = m;
-    config.strategy.kind = StrategyKind::TwoChoice;
-    config.strategy.radius = r;
+    config.strategy_spec =
+        StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
     config.seed = options.seed;
     const ExperimentResult result = run_experiment(config, options.runs,
                                                    &pool);

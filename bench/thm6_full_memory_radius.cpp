@@ -36,8 +36,8 @@ int run(const bench::BenchOptions& options) {
       config.num_files = library;
       config.cache_size = library;  // M = K
       config.placement_mode = PlacementMode::DistinctProportional;
-      config.strategy.kind = StrategyKind::TwoChoice;
-      config.strategy.radius = r;
+      config.strategy_spec =
+          StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
       config.seed = options.seed;
       const ExperimentResult result =
           run_experiment(config, options.runs, &pool);

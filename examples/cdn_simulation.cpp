@@ -50,19 +50,19 @@ int main(int argc, char** argv) {
   ThreadPool pool;
 
   // Baseline: nearest replica (minimum cost, unmanaged load).
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   const ExperimentResult baseline = run_experiment(config, runs, &pool);
 
   Table table({"policy", "max load", "comm cost", "fallback %"});
   table.add_row({Cell("nearest replica"), Cell(baseline.max_load.mean(), 2),
                  Cell(baseline.comm_cost.mean(), 2), Cell(0.0, 1)});
 
-  config.strategy.kind = StrategyKind::TwoChoice;
   const std::vector<Hop> radii = {2, 4, 6, 8, 12, 16, 22};
   Hop recommended = 0;
   double recommended_cost = 0.0;
   for (const Hop r : radii) {
-    config.strategy.radius = r;
+    config.strategy_spec =
+        StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
     const ExperimentResult result = run_experiment(config, runs, &pool);
     table.add_row({Cell("two-choice r=" + std::to_string(r)),
                    Cell(result.max_load.mean(), 2),

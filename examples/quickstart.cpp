@@ -22,14 +22,15 @@ int main() {
   config.cache_size = 10;
   config.seed = 2017;
 
-  // Strategy I — send every request to the nearest replica.
-  config.strategy.kind = StrategyKind::NearestReplica;
+  // Strategy I — send every request to the nearest replica. Strategies are
+  // named spec strings resolved by the StrategyRegistry; `./scenario_runner
+  // --list` shows everything registered.
+  config.strategy_spec = parse_strategy_spec("nearest");
   const ExperimentResult nearest = run_experiment(config, /*runs=*/50);
 
   // Strategy II — the paper's proximity-aware power of two choices:
   // sample two replicas within radius r, serve at the lesser-loaded one.
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 10;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=10)");
   const ExperimentResult two_choice = run_experiment(config, /*runs=*/50);
 
   std::cout << "cache network: n=2025 torus, K=500, M=10, 50 runs\n\n";

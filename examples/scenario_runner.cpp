@@ -1,19 +1,28 @@
-// Scenario × strategy matrix runner over the built-in scenario registry.
+// Scenario × strategy matrix runner over the scenario and strategy
+// registries.
 //
 // Runs every requested workload scenario (flash crowds, diurnal cycles,
 // catalog churn, temporal locality, adversarial hot keys, plus the paper
-// baselines) under each assignment strategy, on the thread pool, and prints
-// one table row per (scenario, strategy) pair — or CSV with --csv.
+// baselines) under each requested assignment strategy, on the thread pool,
+// and prints one table row per (scenario, strategy) pair — or CSV with
+// --csv. Strategies are spec strings resolved by the StrategyRegistry, so
+// any registered policy (including ones added after this binary was
+// written) can be swept without touching this file.
 //
 //   $ ./scenario_runner --list
 //   $ ./scenario_runner --scenario flash-crowd --runs 40
 //   $ ./scenario_runner --scenario all --csv > matrix.csv
+//   $ ./scenario_runner --strategy "least-loaded(r=8)"
+//                       --strategy "prox-weighted(d=2, alpha=1.5)"
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "scenario/registry.hpp"
+#include "strategy/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -22,16 +31,22 @@ int main(int argc, char** argv) {
 
   ArgParser args("scenario_runner",
                  "workload-scenario x strategy matrix on the thread pool");
-  args.add_string("scenario", "all",
-                  "scenario name (see --list) or 'all' for the full matrix");
-  args.add_flag("list", "print the registered scenarios and exit");
+  args.add_string_list("scenario", {"all"},
+                       "scenario name (see --list), repeatable; "
+                       "'all' runs the full registry");
+  args.add_string_list(
+      "strategy",
+      {"nearest", "two-choice", "two-choice(r=8)"},
+      "strategy spec string (see --list), repeatable, e.g. "
+      "'least-loaded(r=8)' or 'two-choice(d=2, r=16, beta=0.7)'");
+  args.add_flag("list",
+                "print the registered scenarios and strategies, then exit");
   args.add_int("runs", 20, "Monte-Carlo replications per matrix cell");
   args.add_int("seed", 0x5EED, "root seed");
   args.add_int("n", 0, "override server count (perfect square; 0 = preset)");
   args.add_int("files", 0, "override catalog size K (0 = preset)");
   args.add_int("cache", 0, "override cache slots M (0 = preset)");
   args.add_int("requests", 0, "override requests per run (0 = n requests)");
-  args.add_int("radius", 8, "finite dispatch radius of the third strategy");
   args.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   args.add_flag("csv", "emit CSV instead of an aligned table");
   try {
@@ -46,45 +61,68 @@ int main(int argc, char** argv) {
   }
 
   const ScenarioRegistry& registry = ScenarioRegistry::built_ins();
+  const StrategyRegistry& strategies = StrategyRegistry::global();
   if (args.get_flag("list")) {
     Table listing({"scenario", "summary"});
     for (const Scenario& scenario : registry.all()) {
       listing.add_row({Cell(scenario.name), Cell(scenario.summary)});
     }
     listing.print(std::cout);
+    std::cout << "\n";
+    Table strategy_listing({"strategy", "summary"});
+    for (const StrategyEntry& entry : strategies.all()) {
+      strategy_listing.add_row({Cell(entry.name), Cell(entry.summary)});
+    }
+    strategy_listing.print(std::cout);
     return 0;
   }
 
+  // Every requested name is validated (a typo next to 'all' must still
+  // fail loudly) and duplicates collapse to one matrix row.
   std::vector<const Scenario*> selected;
-  const std::string requested = args.get_string("scenario");
-  if (requested == "all") {
-    for (const Scenario& scenario : registry.all()) {
-      selected.push_back(&scenario);
+  bool run_all = false;
+  for (const std::string& requested : args.get_string_list("scenario")) {
+    if (requested == "all") {
+      run_all = true;
+      continue;
     }
-  } else {
     try {
-      selected.push_back(&registry.at(requested));
+      const Scenario* scenario = &registry.at(requested);
+      if (std::find(selected.begin(), selected.end(), scenario) ==
+          selected.end()) {
+        selected.push_back(scenario);
+      }
     } catch (const std::invalid_argument& error) {
       std::cerr << error.what() << "\n";
       return 2;
     }
   }
+  if (run_all) {
+    selected.clear();
+    for (const Scenario& scenario : registry.all()) {
+      selected.push_back(&scenario);
+    }
+  }
+
+  // Every spec is validated up front so a typo in the fourth strategy
+  // fails before hours of simulation, not after; duplicates collapse to
+  // one matrix row, like scenarios above.
+  std::vector<StrategySpec> specs;
+  try {
+    for (StrategySpec& spec :
+         parse_validated_specs(args.get_string_list("strategy"),
+                               strategies)) {
+      if (std::find(specs.begin(), specs.end(), spec) == specs.end()) {
+        specs.push_back(std::move(spec));
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
 
   const auto runs = static_cast<std::size_t>(args.get_int("runs"));
-  const auto finite_radius = static_cast<Hop>(args.get_int("radius"));
   ThreadPool pool(static_cast<unsigned>(args.get_int("threads")));
-
-  struct StrategyRow {
-    std::string label;
-    StrategyKind kind;
-    Hop radius;
-  };
-  const std::vector<StrategyRow> strategies = {
-      {"nearest", StrategyKind::NearestReplica, kUnboundedRadius},
-      {"two-choice r=inf", StrategyKind::TwoChoice, kUnboundedRadius},
-      {"two-choice r=" + std::to_string(finite_radius),
-       StrategyKind::TwoChoice, finite_radius},
-  };
 
   Table table({"scenario", "strategy", "max load", "+/-", "comm cost", "+/-",
                "fallback %", "drop %"});
@@ -103,22 +141,22 @@ int main(int argc, char** argv) {
     if (args.get_int("requests") > 0) {
       config.num_requests = static_cast<std::size_t>(args.get_int("requests"));
     }
-    for (const StrategyRow& strategy : strategies) {
-      config.strategy.kind = strategy.kind;
-      config.strategy.radius = strategy.radius;
-      try {
-        config.validate();
-      } catch (const std::invalid_argument& error) {
-        std::cerr << "scenario '" << scenario->name
-                  << "' with the given overrides is invalid: " << error.what()
-                  << "\n";
-        return 2;
-      }
-      // One SimulationContext per cell: lattice + popularity are built
-      // once and shared by every replication on the pool.
-      const SimulationContext context(config);
+    // One base context per scenario: lattice + popularity are built once
+    // and shared by every strategy cell and every replication on the pool
+    // (the rebinding constructor swaps only the strategy spec).
+    std::optional<SimulationContext> base;
+    try {
+      base.emplace(config);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "scenario '" << scenario->name
+                << "' with the given overrides is invalid: " << error.what()
+                << "\n";
+      return 2;
+    }
+    for (const StrategySpec& spec : specs) {
+      const SimulationContext context(*base, spec);
       const ExperimentResult result = run_experiment(context, runs, &pool);
-      table.add_row({Cell(scenario->name), Cell(strategy.label),
+      table.add_row({Cell(scenario->name), Cell(spec.to_string()),
                      Cell(result.max_load.mean(), 2),
                      Cell(result.max_load.standard_error(), 2),
                      Cell(result.comm_cost.mean(), 2),

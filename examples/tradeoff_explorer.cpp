@@ -47,7 +47,6 @@ int main(int argc, char** argv) {
                                ? PopularityKind::Zipf
                                : PopularityKind::Uniform;
   config.popularity.gamma = args.get_double("gamma");
-  config.strategy.kind = StrategyKind::TwoChoice;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const auto runs = static_cast<std::size_t>(args.get_int("runs"));
 
@@ -68,7 +67,8 @@ int main(int argc, char** argv) {
   Table table({"r", "comm_cost", "max_load", "max_load_ci95",
                "fallback_rate"});
   for (const Hop r : radii) {
-    config.strategy.radius = r;
+    config.strategy_spec =
+        StrategySpec{"two-choice", {{"r", static_cast<double>(r)}}};
     const ExperimentResult result = run_experiment(config, runs, &pool);
     table.add_row({Cell(static_cast<std::int64_t>(r)),
                    Cell(result.comm_cost.mean(), 3),

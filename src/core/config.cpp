@@ -2,9 +2,15 @@
 
 #include <sstream>
 
+#include "strategy/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
+
+StrategySpec ExperimentConfig::resolved_strategy() const {
+  return strategy_spec.empty() ? strategy_spec_from_config(strategy)
+                               : strategy_spec;
+}
 
 void ExperimentConfig::validate() const {
   PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
@@ -12,6 +18,12 @@ void ExperimentConfig::validate() const {
                         std::to_string(num_nodes));
   PROXCACHE_REQUIRE(num_files >= 1, "num_files must be >= 1");
   PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
+  // Per-strategy validation is the registry's job: unknown names, unknown
+  // parameter keys and out-of-range values all throw from here. The global
+  // catalog is consulted so registered custom strategies validate too.
+  StrategyRegistry::global().validate(resolved_strategy());
+  // The legacy knobs keep their historical checks (they apply even when a
+  // spec overrides them, so stale configs fail loudly rather than silently).
   PROXCACHE_REQUIRE(strategy.num_choices >= 1 && strategy.num_choices <= 8,
                     "num_choices must be in [1, 8]");
   PROXCACHE_REQUIRE(strategy.beta >= 0.0 && strategy.beta <= 1.0,
@@ -89,16 +101,7 @@ std::string ExperimentConfig::describe() const {
   if (trace.kind != TraceKind::Static) {
     os << "trace=" << to_string(trace.kind) << " ";
   }
-  if (strategy.kind == StrategyKind::NearestReplica) {
-    os << "strategy=nearest";
-  } else {
-    os << "strategy=" << strategy.num_choices << "-choice r=";
-    if (strategy.radius == kUnboundedRadius) {
-      os << "inf";
-    } else {
-      os << strategy.radius;
-    }
-  }
+  os << "strategy=" << resolved_strategy().to_string();
   return os.str();
 }
 

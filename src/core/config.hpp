@@ -12,12 +12,17 @@
 #include "catalog/placement.hpp"
 #include "catalog/popularity.hpp"
 #include "scenario/trace_spec.hpp"
+#include "strategy/spec.hpp"
 #include "topology/lattice.hpp"
 #include "util/types.hpp"
 
 namespace proxcache {
 
-/// Which assignment strategy handles requests.
+/// \deprecated Compat shim for pre-StrategySpec code. The strategy layer is
+/// open now (strategy/registry.hpp); new code should set
+/// `ExperimentConfig::strategy_spec` (e.g. `parse_strategy_spec("nearest")`)
+/// instead of this closed enum. Scheduled for removal once the remaining
+/// legacy call sites migrate.
 enum class StrategyKind : std::uint8_t {
   NearestReplica,  ///< paper Strategy I (Definition 2)
   TwoChoice,       ///< paper Strategy II (Definition 3), generalized to d
@@ -69,7 +74,12 @@ struct PopularitySpec {
   }
 };
 
-/// Strategy knobs.
+/// \deprecated Compat shim: legacy strategy knobs, honored only while
+/// `ExperimentConfig::strategy_spec` is empty (see `resolved_strategy()`,
+/// which maps them onto an equivalent StrategySpec bit-identically). New
+/// code should express strategies as specs — they cover every knob here
+/// (`d`, `r`, `beta`, `fallback`, `wr`, `stale`) plus the registry's
+/// extension strategies. Scheduled for removal with StrategyKind.
 struct StrategyConfig {
   StrategyKind kind = StrategyKind::TwoChoice;
   /// Proximity radius `r` (Strategy II only); kUnboundedRadius = r = ∞.
@@ -105,12 +115,23 @@ struct ExperimentConfig {
   /// Number of sequential requests; 0 means "n requests" (paper default).
   std::size_t num_requests = 0;
   MissingFilePolicy missing = MissingFilePolicy::Resample;
+  /// Which assignment strategy serves requests, as a registry spec
+  /// (strategy/registry.hpp), e.g. `parse_strategy_spec("least-loaded(r=8)")`.
+  /// When empty (the default) the legacy `strategy` knobs below apply.
+  StrategySpec strategy_spec;
+  /// \deprecated Legacy strategy knobs; see StrategyConfig. Ignored when
+  /// `strategy_spec` is set.
   StrategyConfig strategy;
   std::uint64_t seed = 0x5EED;
 
   [[nodiscard]] std::size_t effective_requests() const {
     return num_requests == 0 ? num_nodes : num_requests;
   }
+
+  /// The strategy actually in effect: `strategy_spec` when set, otherwise
+  /// the legacy `strategy` knobs mapped onto an equivalent spec. This is
+  /// what the simulator hands to StrategyRegistry::make.
+  [[nodiscard]] StrategySpec resolved_strategy() const;
 
   /// Throws std::invalid_argument when inconsistent (n not square, M < 1…).
   void validate() const;

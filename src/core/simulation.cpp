@@ -4,13 +4,12 @@
 #include <memory>
 
 #include "core/metrics.hpp"
-#include "core/nearest_replica.hpp"
 #include "core/request.hpp"
 #include "core/stale_view.hpp"
-#include "core/two_choice.hpp"
 #include "random/seeding.hpp"
 #include "scenario/trace_source.hpp"
 #include "spatial/replica_index.hpp"
+#include "strategy/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -28,6 +27,15 @@ SimulationContext::SimulationContext(const ExperimentConfig& config)
     : config_(validated(config)),
       lattice_(Lattice::from_node_count(config_.num_nodes, config_.wrap)),
       popularity_(config_.popularity.materialize(config_.num_files)) {}
+
+SimulationContext::SimulationContext(const SimulationContext& base,
+                                     StrategySpec strategy)
+    : config_(base.config_),
+      lattice_(base.lattice_),
+      popularity_(base.popularity_) {
+  config_.strategy_spec = std::move(strategy);
+  config_.validate();
+}
 
 RunResult SimulationContext::run(std::uint64_t run_index) const {
   const std::size_t horizon = config_.effective_requests();
@@ -61,29 +69,31 @@ RunResult SimulationContext::run(std::uint64_t run_index) const {
   SanitizingTraceSource sanitized(*source, horizon, placement, popularity_,
                                   config_.missing, repair_rng);
 
+  // Every strategy — the paper pair and any extension registered on the
+  // global catalog — is constructed by the open registry from the resolved
+  // spec; there is no enum dispatch. `with_defaults` validates and fills
+  // unset parameters from the registry rules (so the `stale` read below
+  // sees the entry's declared default), after which the entry's factory is
+  // invoked directly — replications pay for one validation pass, not two.
   const ReplicaIndex index(lattice_, placement);
-  std::unique_ptr<Strategy> strategy;
-  if (config_.strategy.kind == StrategyKind::NearestReplica) {
-    strategy = std::make_unique<NearestReplicaStrategy>(index);
-  } else {
-    TwoChoiceOptions options;
-    options.radius = config_.strategy.radius;
-    options.num_choices = config_.strategy.num_choices;
-    options.with_replacement = config_.strategy.with_replacement;
-    options.fallback = config_.strategy.fallback;
-    options.beta = config_.strategy.beta;
-    strategy = std::make_unique<TwoChoiceStrategy>(index, options);
-  }
+  const StrategyRegistry& registry = StrategyRegistry::global();
+  const StrategySpec spec =
+      registry.with_defaults(config_.resolved_strategy());
+  const std::unique_ptr<Strategy> strategy =
+      registry.at(spec.name).factory(spec, index, lattice_, config_);
 
   Rng strategy_rng(
       derive_seed(config_.seed, {run_index, seed_phase::kStrategy}));
   LoadTracker tracker(config_.num_nodes);
   // Stale-information model (§VI): the strategy compares loads from a
-  // periodically refreshed snapshot instead of the live tracker.
+  // periodically refreshed snapshot instead of the live tracker. `stale` is
+  // a universal spec parameter because the snapshot wraps the LoadView
+  // outside the strategy proper.
+  const auto stale_batch =
+      static_cast<std::uint32_t>(spec.get_or("stale", 1.0));
   std::unique_ptr<StaleLoadView> stale;
-  if (config_.strategy.stale_batch > 1) {
-    stale = std::make_unique<StaleLoadView>(tracker,
-                                            config_.strategy.stale_batch);
+  if (stale_batch > 1) {
+    stale = std::make_unique<StaleLoadView>(tracker, stale_batch);
   }
   const LoadView& load_view = stale ? static_cast<const LoadView&>(*stale)
                                     : static_cast<const LoadView&>(tracker);

@@ -46,6 +46,12 @@ class SimulationContext {
   /// and materializes the shared state once.
   explicit SimulationContext(const ExperimentConfig& config);
 
+  /// Rebind `base`'s experiment to a different assignment strategy without
+  /// rebuilding the lattice or popularity profile — the scenario × strategy
+  /// matrix fast path (the shared state is strategy-independent). Validates
+  /// the resulting config.
+  SimulationContext(const SimulationContext& base, StrategySpec strategy);
+
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const Lattice& lattice() const { return lattice_; }
   [[nodiscard]] const Popularity& popularity() const { return popularity_; }

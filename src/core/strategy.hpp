@@ -19,6 +19,14 @@ struct Assignment {
   bool fallback = false;         ///< a fallback path was taken
 };
 
+/// The shared ExpandRadius fallback schedule (Strategy II semantics, also
+/// used by least-loaded): 0 → 1, then doubling, saturating at the lattice
+/// diameter. One definition so the strategies cannot drift apart.
+[[nodiscard]] inline Hop next_fallback_radius(Hop radius, Hop diameter) {
+  if (radius == 0) return 1;
+  return radius >= diameter / 2 ? diameter : static_cast<Hop>(radius * 2);
+}
+
 /// Sequential request-to-server mapper. Implementations must be
 /// deterministic given the Rng stream and may read (never write) the
 /// tracker's current loads.

@@ -141,12 +141,7 @@ Assignment TwoChoiceStrategy::assign(const Request& request,
       }
       case FallbackPolicy::ExpandRadius: {
         const Hop diameter = lattice.diameter();
-        if (radius == 0) {
-          radius = 1;
-        } else {
-          radius = radius >= diameter / 2 ? diameter
-                                          : static_cast<Hop>(radius * 2);
-        }
+        radius = next_fallback_radius(radius, diameter);
         found = sample_candidates(request.origin, request.file, radius, rng,
                                   candidates);
         if (found == 0 && radius >= diameter) {

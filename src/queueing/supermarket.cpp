@@ -6,12 +6,11 @@
 #include <vector>
 
 #include "core/metrics.hpp"
-#include "core/nearest_replica.hpp"
 #include "core/request.hpp"
-#include "core/two_choice.hpp"
 #include "random/alias_sampler.hpp"
 #include "random/seeding.hpp"
 #include "spatial/replica_index.hpp"
+#include "strategy/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -73,17 +72,19 @@ QueueingResult run_supermarket(const QueueingConfig& config,
       placement_rng);
   const ReplicaIndex index(lattice, placement);
 
-  std::unique_ptr<Strategy> strategy;
-  if (net.strategy.kind == StrategyKind::NearestReplica) {
-    strategy = std::make_unique<NearestReplicaStrategy>(index);
-  } else {
-    TwoChoiceOptions options;
-    options.radius = net.strategy.radius;
-    options.num_choices = net.strategy.num_choices;
-    options.with_replacement = net.strategy.with_replacement;
-    options.fallback = net.strategy.fallback;
-    strategy = std::make_unique<TwoChoiceStrategy>(index, options);
-  }
+  // Queueing accepts the exact same spec strings as the batch simulator:
+  // join-the-shorter-queue is just the strategy comparing queue lengths
+  // through the LoadView. Queue lengths are live by construction, so a
+  // stale-information request cannot be honored — reject it loudly rather
+  // than silently simulating a different model than the spec claims.
+  const StrategyRegistry& registry = StrategyRegistry::global();
+  const StrategySpec spec = registry.with_defaults(net.resolved_strategy());
+  PROXCACHE_REQUIRE(spec.get_or("stale", 1.0) == 1.0,
+                    "the queueing model compares live queue lengths; "
+                    "'stale' is a batch-simulator parameter (drop it or set "
+                    "stale=1)");
+  const std::unique_ptr<Strategy> strategy =
+      registry.at(spec.name).factory(spec, index, lattice, net);
 
   Rng rng(derive_seed(seed, {0, seed_phase::kQueueing}));
   const AliasSampler file_sampler(popularity.pmf());

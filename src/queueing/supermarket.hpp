@@ -11,6 +11,10 @@
 /// a uniform origin and a popularity-distributed file, the strategy picks a
 /// serving node (comparing *queue lengths* instead of cumulative loads), and
 /// the serving node processes jobs FIFO at rate `μ`. Stable for λ < μ.
+///
+/// Strategy specs are honored in full — including `beta`, which a historical
+/// private dispatch switch silently dropped — with one exception: `stale`
+/// cannot apply to live queue lengths and is rejected, not ignored.
 
 #include <cstdint>
 

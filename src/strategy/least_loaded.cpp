@@ -1,0 +1,83 @@
+#include "strategy/least_loaded.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+std::string LeastLoadedStrategy::name() const {
+  std::ostringstream os;
+  os << "least-loaded(r=";
+  if (options_.radius == kUnboundedRadius) {
+    os << "inf";
+  } else {
+    os << options_.radius;
+  }
+  os << ")";
+  return os.str();
+}
+
+Assignment LeastLoadedStrategy::assign(const Request& request,
+                                       const LoadView& loads, Rng& rng) {
+  const auto& lattice = index_->lattice();
+  Assignment assignment;
+  Hop radius = options_.radius;
+
+  while (true) {
+    NodeId best_node = kInvalidNode;
+    Load best_load = 0;
+    Hop best_dist = 0;
+    std::uint32_t ties = 0;
+    index_->for_each_replica_within(
+        request.origin, request.file, radius, [&](NodeId v, Hop d) {
+          const Load load = loads.load(v);
+          if (best_node == kInvalidNode || load < best_load ||
+              (load == best_load && d < best_dist)) {
+            best_node = v;
+            best_load = load;
+            best_dist = d;
+            ties = 1;
+            return;
+          }
+          if (load == best_load && d == best_dist) {
+            ++ties;
+            if (rng.below(ties) == 0) best_node = v;
+          }
+        });
+    if (best_node != kInvalidNode) {
+      assignment.server = best_node;
+      assignment.hops = best_dist;
+      return assignment;
+    }
+
+    // Empty F_j(u): same fallback semantics as Strategy II.
+    assignment.fallback = true;
+    switch (options_.fallback) {
+      case FallbackPolicy::Drop:
+        return assignment;  // invalid server signals the drop
+      case FallbackPolicy::NearestReplica: {
+        const NearestResult nearest =
+            index_->nearest(request.origin, request.file, rng);
+        PROXCACHE_CHECK(nearest.server != kInvalidNode,
+                        "uncached file reached the strategy; "
+                        "sanitize_trace must run first");
+        assignment.server = nearest.server;
+        assignment.hops = nearest.distance;
+        return assignment;
+      }
+      case FallbackPolicy::ExpandRadius: {
+        const Hop diameter = lattice.diameter();
+        // A full-diameter probe already saw every replica, so an empty
+        // result can only mean an uncached file slipped past sanitize.
+        PROXCACHE_CHECK(radius < diameter,
+                        "uncached file reached the strategy; "
+                        "sanitize_trace must run first");
+        radius = next_fallback_radius(radius, diameter);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace proxcache

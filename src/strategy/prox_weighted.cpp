@@ -1,0 +1,87 @@
+#include "strategy/prox_weighted.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+ProxWeightedStrategy::ProxWeightedStrategy(const ReplicaIndex& index,
+                                           ProxWeightedOptions options)
+    : index_(&index), options_(options) {
+  PROXCACHE_REQUIRE(options.num_choices >= 1 && options.num_choices <= 8,
+                    "num_choices must be in [1, 8]");
+  PROXCACHE_REQUIRE(options.alpha >= 0.0, "alpha must be >= 0");
+}
+
+std::string ProxWeightedStrategy::name() const {
+  std::ostringstream os;
+  os << "prox-weighted(d=" << options_.num_choices << ", alpha="
+     << options_.alpha << ")";
+  return os.str();
+}
+
+Assignment ProxWeightedStrategy::assign(const Request& request,
+                                        const LoadView& loads, Rng& rng) {
+  const auto& lattice = index_->lattice();
+  const auto replicas = index_->placement().replicas(request.file);
+  const std::size_t count = replicas.size();
+  PROXCACHE_CHECK(count > 0,
+                  "uncached file reached the strategy; "
+                  "sanitize_trace must run first");
+
+  Assignment assignment;
+  // Weight every replica by (1 + dist)^-alpha; the +1 keeps a co-located
+  // replica (dist 0) at finite weight.
+  weights_.resize(count);
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Hop d = lattice.distance(request.origin, replicas[i]);
+    const double w =
+        std::pow(1.0 + static_cast<double>(d), -options_.alpha);
+    weights_[i] = w;
+    total += w;
+  }
+
+  // Draw up to d distinct candidates by repeated weighted selection,
+  // zeroing each winner's weight. O(d·|S_j|), matching the cost of the
+  // radius-constrained reservoir pass in Strategy II.
+  const std::uint32_t want =
+      static_cast<std::uint32_t>(std::min<std::size_t>(options_.num_choices,
+                                                       count));
+  NodeId chosen = kInvalidNode;
+  Load best = 0;
+  std::uint32_t ties = 0;
+  for (std::uint32_t pick = 0; pick < want; ++pick) {
+    double u = rng.uniform() * total;
+    std::size_t winner = count;  // last positive weight wins on rounding
+    for (std::size_t i = 0; i < count; ++i) {
+      if (weights_[i] <= 0.0) continue;
+      winner = i;
+      u -= weights_[i];
+      if (u < 0.0) break;
+    }
+    PROXCACHE_CHECK(winner < count, "weighted draw found no candidate");
+    total -= weights_[winner];
+    weights_[winner] = 0.0;
+
+    // Least-loaded among the sampled set, uniform among ties — streamed so
+    // no candidate array is needed.
+    const NodeId v = replicas[winner];
+    const Load load = loads.load(v);
+    if (pick == 0 || load < best) {
+      chosen = v;
+      best = load;
+      ties = 1;
+    } else if (load == best) {
+      ++ties;
+      if (rng.below(ties) == 0) chosen = v;
+    }
+  }
+  assignment.server = chosen;
+  assignment.hops = lattice.distance(request.origin, chosen);
+  return assignment;
+}
+
+}  // namespace proxcache

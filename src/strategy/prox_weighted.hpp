@@ -1,0 +1,47 @@
+#pragma once
+/// \file prox_weighted.hpp
+/// Distance-weighted d-choice strategy: a soft-proximity variant of
+/// Strategy II in the spirit of the storage/communication trade-off
+/// policies of Jafari Siavoshani et al. ("Storage, Communication, and Load
+/// Balancing Trade-off in Distributed Cache Networks"). Instead of a hard
+/// radius cutoff, sample `d` distinct candidates from the *whole* replica
+/// set `S_j`, drawing replica `v` with probability proportional to
+/// `(1 + dist(u, v))^-alpha`, then serve at the least-loaded sampled
+/// candidate (uniform tie break).
+///
+/// `alpha` dials the communication/balance trade-off continuously:
+/// `alpha = 0` recovers unconstrained d-choice (uniform candidates, best
+/// balance, highest cost) while large `alpha` concentrates the candidate
+/// mass on the nearest replicas (cost approaches Strategy I). Because every
+/// cached file has at least one replica after sanitization, this strategy
+/// never needs a fallback path.
+
+#include "core/strategy.hpp"
+#include "spatial/replica_index.hpp"
+
+namespace proxcache {
+
+/// Options for the distance-weighted sampler (registry key "prox-weighted").
+struct ProxWeightedOptions {
+  std::uint32_t num_choices = 2;  ///< d: candidates sampled per request
+  double alpha = 1.0;             ///< distance-decay exponent, >= 0
+};
+
+/// Sample d replicas with probability ∝ (1+dist)^-alpha, serve the
+/// least-loaded.
+class ProxWeightedStrategy final : public Strategy {
+ public:
+  ProxWeightedStrategy(const ReplicaIndex& index, ProxWeightedOptions options);
+
+  Assignment assign(const Request& request, const LoadView& loads,
+                    Rng& rng) override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  const ReplicaIndex* index_;
+  ProxWeightedOptions options_;
+  std::vector<double> weights_;  ///< per-call scratch, sized |S_j|
+};
+
+}  // namespace proxcache

@@ -1,0 +1,279 @@
+#include "strategy/registry.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/nearest_replica.hpp"
+#include "core/two_choice.hpp"
+#include "strategy/least_loaded.hpp"
+#include "strategy/prox_weighted.hpp"
+
+namespace proxcache {
+
+namespace {
+
+// The spec layer's fallback codes are the canonical wire format; they must
+// track the enum values so the conversions below are casts.
+static_assert(static_cast<double>(
+                  static_cast<std::uint8_t>(FallbackPolicy::ExpandRadius)) ==
+              kSpecFallbackExpand);
+static_assert(static_cast<double>(static_cast<std::uint8_t>(
+                  FallbackPolicy::NearestReplica)) == kSpecFallbackNearest);
+static_assert(static_cast<double>(
+                  static_cast<std::uint8_t>(FallbackPolicy::Drop)) ==
+              kSpecFallbackDrop);
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// `r` spec values are doubles; anything at or beyond the NodeId-sized
+/// sentinel (including `inf`) means "no proximity constraint".
+Hop radius_from_param(double value) {
+  if (value >= static_cast<double>(kUnboundedRadius)) return kUnboundedRadius;
+  return static_cast<Hop>(value);
+}
+
+StrategyParamRule stale_rule() {
+  return {"stale", 1.0, 4294967295.0, 1.0,
+          "load-snapshot refresh period in requests (1 = always fresh)",
+          /*integral=*/true};
+}
+
+std::string format_range(double lo, double hi) {
+  std::ostringstream os;
+  os << '[' << lo << ", ";
+  if (std::isinf(hi)) {
+    os << "inf";
+  } else {
+    os << hi;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+double fallback_param(FallbackPolicy policy) {
+  return static_cast<double>(static_cast<std::uint8_t>(policy));
+}
+
+FallbackPolicy fallback_policy_from_param(double code) {
+  if (code == kSpecFallbackNearest) return FallbackPolicy::NearestReplica;
+  if (code == kSpecFallbackDrop) return FallbackPolicy::Drop;
+  return FallbackPolicy::ExpandRadius;
+}
+
+void StrategyRegistry::add(StrategyEntry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("strategy entry needs a non-empty name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("strategy '" + entry.name +
+                                "' registered without a factory");
+  }
+  if (find(entry.name) != nullptr) {
+    throw std::invalid_argument("strategy '" + entry.name +
+                                "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const StrategyEntry* StrategyRegistry::find(const std::string& name) const {
+  for (const StrategyEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const StrategyEntry& StrategyRegistry::at(const std::string& name) const {
+  const StrategyEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown strategy '" + name +
+                                "' (known: " + names() + ")");
+  }
+  return *entry;
+}
+
+std::string StrategyRegistry::names() const {
+  std::string joined;
+  for (const StrategyEntry& entry : entries_) {
+    if (!joined.empty()) joined += ", ";
+    joined += entry.name;
+  }
+  return joined;
+}
+
+void StrategyRegistry::validate(const StrategySpec& spec) const {
+  const StrategyEntry& entry = at(spec.name);
+  for (const auto& [key, value] : spec.params) {
+    const StrategyParamRule* rule = nullptr;
+    for (const StrategyParamRule& candidate : entry.params) {
+      if (candidate.key == key) {
+        rule = &candidate;
+        break;
+      }
+    }
+    if (rule == nullptr) {
+      std::string known;
+      for (const StrategyParamRule& candidate : entry.params) {
+        if (!known.empty()) known += ", ";
+        known += candidate.key;
+      }
+      throw std::invalid_argument(
+          "strategy '" + spec.name + "' does not take parameter '" + key +
+          "' (known: " + (known.empty() ? "<none>" : known) + ")");
+    }
+    if (std::isnan(value) || value < rule->min_value ||
+        value > rule->max_value) {
+      std::ostringstream os;
+      os << "strategy '" << spec.name << "' parameter '" << key << "' = "
+         << value << " is outside "
+         << format_range(rule->min_value, rule->max_value);
+      throw std::invalid_argument(os.str());
+    }
+    if (rule->integral && !std::isinf(value) &&
+        value != std::floor(value)) {
+      std::ostringstream os;
+      os << "strategy '" << spec.name << "' parameter '" << key << "' = "
+         << value << " must be an integer";
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+StrategySpec StrategyRegistry::with_defaults(const StrategySpec& spec) const {
+  validate(spec);
+  StrategySpec filled = spec;
+  for (const StrategyParamRule& rule : at(spec.name).params) {
+    if (!filled.has(rule.key)) filled.params[rule.key] = rule.default_value;
+  }
+  return filled;
+}
+
+std::unique_ptr<Strategy> StrategyRegistry::make(
+    const StrategySpec& spec, const ReplicaIndex& index,
+    const Lattice& lattice, const ExperimentConfig& config) const {
+  return at(spec.name).factory(with_defaults(spec), index, lattice, config);
+}
+
+const StrategyRegistry& StrategyRegistry::built_ins() {
+  static const StrategyRegistry registry = [] {
+    StrategyRegistry r;
+    r.add({"nearest",
+           "Strategy I: serve at the nearest replica (load-oblivious)",
+           {stale_rule()},
+           [](const StrategySpec&, const ReplicaIndex& index, const Lattice&,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             return std::make_unique<NearestReplicaStrategy>(index);
+           }});
+    r.add({"two-choice",
+           "Strategy II: d uniform candidates within radius r, "
+           "least-loaded wins",
+           {{"d", 1.0, 8.0, 2.0, "number of sampled candidates",
+             /*integral=*/true},
+            {"r", 0.0, kInf, kInf, "proximity radius in hops (inf = none)",
+             /*integral=*/true},
+            {"beta", 0.0, 1.0, 1.0,
+             "(1+beta) mixing: probability of the d-choice comparison"},
+            {"fallback", 0.0, 2.0, kSpecFallbackExpand,
+             "empty-candidate policy: expand | nearest | drop",
+             /*integral=*/true},
+            {"wr", 0.0, 1.0, 0.0, "sample with replacement (0 | 1)",
+             /*integral=*/true},
+            stale_rule()},
+           [](const StrategySpec& spec, const ReplicaIndex& index,
+              const Lattice&,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             TwoChoiceOptions options;
+             options.radius = radius_from_param(spec.get_or("r", kInf));
+             options.num_choices =
+                 static_cast<std::uint32_t>(spec.get_or("d", 2.0));
+             options.with_replacement = spec.get_or("wr", 0.0) != 0.0;
+             options.fallback =
+                 fallback_policy_from_param(spec.get_or("fallback", 0.0));
+             options.beta = spec.get_or("beta", 1.0);
+             return std::make_unique<TwoChoiceStrategy>(index, options);
+           }});
+    r.add({"least-loaded",
+           "probe every replica within radius r, serve the least-loaded "
+           "(ties to the closest)",
+           {{"r", 0.0, kInf, kInf, "probe radius in hops (inf = all)",
+             /*integral=*/true},
+            {"fallback", 0.0, 2.0, kSpecFallbackExpand,
+             "empty-candidate policy: expand | nearest | drop",
+             /*integral=*/true},
+            stale_rule()},
+           [](const StrategySpec& spec, const ReplicaIndex& index,
+              const Lattice&,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             LeastLoadedOptions options;
+             options.radius = radius_from_param(spec.get_or("r", kInf));
+             options.fallback =
+                 fallback_policy_from_param(spec.get_or("fallback", 0.0));
+             return std::make_unique<LeastLoadedStrategy>(index, options);
+           }});
+    r.add({"prox-weighted",
+           "d candidates drawn with probability ~ (1+dist)^-alpha, "
+           "least-loaded wins",
+           {{"d", 1.0, 8.0, 2.0, "number of sampled candidates",
+             /*integral=*/true},
+            {"alpha", 0.0, 64.0, 1.0,
+             "distance-decay exponent (0 = uniform d-choice)"},
+            stale_rule()},
+           [](const StrategySpec& spec, const ReplicaIndex& index,
+              const Lattice&,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             ProxWeightedOptions options;
+             options.num_choices =
+                 static_cast<std::uint32_t>(spec.get_or("d", 2.0));
+             options.alpha = spec.get_or("alpha", 1.0);
+             return std::make_unique<ProxWeightedStrategy>(index, options);
+           }});
+    return r;
+  }();
+  return registry;
+}
+
+StrategyRegistry& StrategyRegistry::global() {
+  static StrategyRegistry registry = with_built_ins();
+  return registry;
+}
+
+std::vector<StrategySpec> parse_validated_specs(
+    const std::vector<std::string>& texts, const StrategyRegistry& registry) {
+  std::vector<StrategySpec> specs;
+  specs.reserve(texts.size());
+  for (const std::string& text : texts) {
+    StrategySpec spec = parse_strategy_spec(text);
+    registry.validate(spec);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+StrategySpec strategy_spec_from_config(const StrategyConfig& legacy) {
+  StrategySpec spec;
+  if (legacy.kind == StrategyKind::NearestReplica) {
+    spec.name = "nearest";
+  } else {
+    spec.name = "two-choice";
+    if (legacy.num_choices != 2) {
+      spec.params["d"] = static_cast<double>(legacy.num_choices);
+    }
+    if (legacy.radius != kUnboundedRadius) {
+      spec.params["r"] = static_cast<double>(legacy.radius);
+    }
+    if (legacy.beta != 1.0) spec.params["beta"] = legacy.beta;
+    if (legacy.fallback != FallbackPolicy::ExpandRadius) {
+      spec.params["fallback"] = fallback_param(legacy.fallback);
+    }
+    if (legacy.with_replacement) spec.params["wr"] = 1.0;
+  }
+  if (legacy.stale_batch != 1) {
+    spec.params["stale"] = static_cast<double>(legacy.stale_batch);
+  }
+  return spec;
+}
+
+}  // namespace proxcache

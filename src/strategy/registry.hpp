@@ -1,0 +1,139 @@
+#pragma once
+/// \file registry.hpp
+/// Open strategy catalog: binds spec names to factories and per-parameter
+/// validation rules, mirroring scenario/registry.hpp on the workload side.
+/// The simulator asks the registry — never an enum switch — to build the
+/// `Strategy` for a run, so adding a policy is: implement `Strategy`,
+/// append one `StrategyEntry`, done. No core file changes, and every CLI
+/// (`--strategy <spec>`), bench, and the queueing extension pick it up
+/// automatically.
+///
+/// Every entry declares the parameter keys it accepts with inclusive
+/// ranges and defaults; `validate` rejects unknown names, unknown keys and
+/// out-of-range values with precise messages, and `make` validates before
+/// constructing. The universal key `stale` (load-snapshot refresh period,
+/// core/stale_view.hpp) is accepted by every strategy because the staleness
+/// model wraps the LoadView outside the strategy proper.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/strategy.hpp"
+#include "spatial/replica_index.hpp"
+#include "strategy/spec.hpp"
+#include "topology/lattice.hpp"
+
+namespace proxcache {
+
+/// One legal parameter of a strategy: inclusive range plus the value used
+/// when the spec leaves the key unset.
+struct StrategyParamRule {
+  std::string key;
+  double min_value;
+  double max_value;  ///< inclusive; use infinity for unbounded keys
+  double default_value;
+  std::string doc;  ///< one-liner for --help / README tables
+  /// Whole numbers only (`inf` stays legal where the range allows it).
+  /// Counts and radii set this so e.g. `r=2.7` is rejected instead of
+  /// silently truncating to a radius the results table never admits to.
+  bool integral = false;
+};
+
+/// Builds a ready-to-run Strategy for one request stream. The index is the
+/// per-run spatial query layer; the lattice and config carry the shared
+/// experiment state for strategies that need more context.
+using StrategyFactory = std::function<std::unique_ptr<Strategy>(
+    const StrategySpec&, const ReplicaIndex&, const Lattice&,
+    const ExperimentConfig&)>;
+
+/// One registered strategy.
+struct StrategyEntry {
+  std::string name;     ///< registry key, canonical lowercase
+  std::string summary;  ///< one-line description for --list output
+  std::vector<StrategyParamRule> params;
+  StrategyFactory factory;
+};
+
+/// Catalog of strategy entries. `built_ins()` is the immutable default set
+/// (paper strategies + extensions); custom registries start from
+/// `with_built_ins()` and `add` their own entries.
+class StrategyRegistry {
+ public:
+  /// An empty registry (for fully custom catalogs).
+  StrategyRegistry() = default;
+
+  /// The shared immutable catalog of built-in strategies.
+  static const StrategyRegistry& built_ins();
+
+  /// A mutable copy of the built-in catalog to extend with `add`.
+  static StrategyRegistry with_built_ins() { return built_ins(); }
+
+  /// The process-wide catalog the simulator consults (`validate`,
+  /// `SimulationContext::run`, `run_supermarket`). Starts as a copy of
+  /// `built_ins()`; `global().add(...)` makes a custom strategy runnable
+  /// everywhere specs are accepted. Register at startup, before experiments
+  /// run — registration is not synchronized with concurrent runs.
+  static StrategyRegistry& global();
+
+  /// Register an entry; throws std::invalid_argument on a duplicate name
+  /// or an entry without a factory.
+  void add(StrategyEntry entry);
+
+  /// All entries in registration order.
+  [[nodiscard]] const std::vector<StrategyEntry>& all() const {
+    return entries_;
+  }
+
+  /// Entry by name, or nullptr when absent.
+  [[nodiscard]] const StrategyEntry* find(const std::string& name) const;
+
+  /// Entry by name; throws std::invalid_argument listing the known names
+  /// when absent.
+  [[nodiscard]] const StrategyEntry& at(const std::string& name) const;
+
+  /// Comma-separated names (for error messages and --help).
+  [[nodiscard]] std::string names() const;
+
+  /// Check `spec` against the named entry's parameter rules. Throws
+  /// std::invalid_argument on an unknown strategy name, an unknown
+  /// parameter key, or an out-of-range value.
+  void validate(const StrategySpec& spec) const;
+
+  /// `spec`, validated, with every unset parameter filled in from the
+  /// entry's declared defaults. This is the single source of truth for
+  /// effective values — factories and the simulator read the filled spec,
+  /// so a rule's documented default can never drift from what runs.
+  [[nodiscard]] StrategySpec with_defaults(const StrategySpec& spec) const;
+
+  /// Validate `spec` and build the strategy through the entry's factory.
+  [[nodiscard]] std::unique_ptr<Strategy> make(
+      const StrategySpec& spec, const ReplicaIndex& index,
+      const Lattice& lattice, const ExperimentConfig& config) const;
+
+ private:
+  std::vector<StrategyEntry> entries_;
+};
+
+/// Map the legacy StrategyKind/StrategyConfig knobs onto an equivalent
+/// spec (only non-default knobs become explicit parameters). This is the
+/// compat shim that keeps pre-StrategySpec configs running bit-identically.
+[[nodiscard]] StrategySpec strategy_spec_from_config(
+    const StrategyConfig& legacy);
+
+/// FallbackPolicy <-> spec parameter code conversions (see spec.hpp for the
+/// symbolic keyword table).
+[[nodiscard]] double fallback_param(FallbackPolicy policy);
+[[nodiscard]] FallbackPolicy fallback_policy_from_param(double code);
+
+/// Parse and validate a batch of spec strings (e.g. repeated `--strategy`
+/// flags) against `registry`, all up front — so a typo in the last spec
+/// fails before the first expensive run, not after. Throws
+/// std::invalid_argument on the first bad spec.
+[[nodiscard]] std::vector<StrategySpec> parse_validated_specs(
+    const std::vector<std::string>& texts,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+}  // namespace proxcache

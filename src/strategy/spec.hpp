@@ -1,0 +1,65 @@
+#pragma once
+/// \file spec.hpp
+/// Typed, open-ended description of an assignment strategy: a registry name
+/// plus a flat `key -> double` parameter map. `StrategySpec` is the one
+/// currency the whole stack trades in — configs carry it, the registry
+/// validates it and binds it to a factory, and CLIs round-trip it through
+/// the spec-string grammar
+///
+///     name                          e.g.  nearest
+///     name(k=v, k=v, ...)           e.g.  two-choice(d=2, r=16, beta=0.7,
+///                                                    fallback=expand)
+///
+/// Values are numbers, `inf`, or one of a small set of symbolic keywords
+/// that canonicalize to numeric codes (`fallback=expand|nearest|drop`).
+/// Parsing is whitespace- and case-insensitive; `to_string()` emits the
+/// canonical lowercase form and `parse_strategy_spec(to_string())` is the
+/// identity for every representable spec.
+///
+/// The spec layer is deliberately standalone (no dependency on core config
+/// or the registry) so new strategy modules and external tools can speak it
+/// without pulling in the simulator.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace proxcache {
+
+/// Numeric codes for the symbolic `fallback=` keyword. Kept in sync with
+/// core/config.hpp's FallbackPolicy by static_asserts in the registry.
+inline constexpr double kSpecFallbackExpand = 0.0;
+inline constexpr double kSpecFallbackNearest = 1.0;
+inline constexpr double kSpecFallbackDrop = 2.0;
+
+/// A named strategy with keyword parameters. Unset keys mean "registry
+/// default"; the registry's per-strategy parameter rules decide which keys
+/// are legal and in what range.
+struct StrategySpec {
+  std::string name;                      ///< registry key, canonical lowercase
+  std::map<std::string, double> params;  ///< explicit parameters only
+
+  /// True when no strategy is named (configs fall back to the legacy knobs).
+  [[nodiscard]] bool empty() const { return name.empty(); }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return params.find(key) != params.end();
+  }
+
+  /// Parameter value, or `fallback` when the key is not set.
+  [[nodiscard]] double get_or(const std::string& key, double fallback) const;
+
+  /// Canonical spec string, e.g. `two-choice(beta=0.7, r=16)`. Keys are
+  /// emitted in sorted order; symbolic keywords and `inf` are restored.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const StrategySpec&, const StrategySpec&) = default;
+};
+
+/// Parse a spec string. Tolerates surrounding/internal whitespace and any
+/// letter case; throws std::invalid_argument with a message pinpointing the
+/// offending token on malformed input (missing parenthesis, missing `=`,
+/// duplicate or empty key, unparseable value, trailing garbage).
+[[nodiscard]] StrategySpec parse_strategy_spec(std::string_view text);
+
+}  // namespace proxcache

@@ -80,6 +80,16 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   register_option(name, std::move(opt));
 }
 
+void ArgParser::add_string_list(const std::string& name,
+                                std::vector<std::string> defaults,
+                                const std::string& help) {
+  Option opt;
+  opt.kind = Kind::StringList;
+  opt.help = help;
+  opt.list_value = std::move(defaults);
+  register_option(name, std::move(opt));
+}
+
 ArgParser& ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
@@ -103,6 +113,11 @@ ArgParser& ArgParser::parse(int argc, const char* const* argv) {
       throw CliError("unknown option --" + name + " (try --help)");
     }
     Option& opt = it->second;
+    // The first command-line occurrence of a list option clears the
+    // registered defaults; later occurrences append.
+    if (opt.kind == Kind::StringList && !opt.set_on_cli) {
+      opt.list_value.clear();
+    }
     opt.set_on_cli = true;
     if (opt.kind == Kind::Flag) {
       if (has_inline) {
@@ -129,6 +144,9 @@ ArgParser& ArgParser::parse(int argc, const char* const* argv) {
         break;
       case Kind::String:
         opt.string_value = value;
+        break;
+      case Kind::StringList:
+        opt.list_value.push_back(value);
         break;
       case Kind::Flag:
         break;  // handled above
@@ -162,6 +180,11 @@ bool ArgParser::get_flag(const std::string& name) const {
   return find(name, Kind::Flag).flag_value;
 }
 
+const std::vector<std::string>& ArgParser::get_string_list(
+    const std::string& name) const {
+  return find(name, Kind::StringList).list_value;
+}
+
 bool ArgParser::was_set(const std::string& name) const {
   auto it = options_.find(name);
   PROXCACHE_REQUIRE(it != options_.end(), "option --" + name + " not declared");
@@ -184,6 +207,15 @@ std::string ArgParser::help_text() const {
       case Kind::String:
         os << " <string>   (default '" << opt.string_value << "')";
         break;
+      case Kind::StringList: {
+        os << " <string>   (repeatable; default";
+        if (opt.list_value.empty()) os << " empty";
+        for (const std::string& item : opt.list_value) {
+          os << " '" << item << "'";
+        }
+        os << ")";
+        break;
+      }
       case Kind::Flag:
         os << "            (flag)";
         break;

@@ -43,6 +43,12 @@ class ArgParser {
                   const std::string& help);
   /// Register a boolean flag (false unless present on the command line).
   void add_flag(const std::string& name, const std::string& help);
+  /// Register a repeatable string option: every occurrence appends to the
+  /// list, so `--strategy a --strategy b` yields {"a", "b"}. The defaults
+  /// apply only when the option never appears.
+  void add_string_list(const std::string& name,
+                       std::vector<std::string> defaults,
+                       const std::string& help);
 
   /// Parse `argv`; throws CliError on malformed input. Returns *this.
   ArgParser& parse(int argc, const char* const* argv);
@@ -51,6 +57,8 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& get_string_list(
+      const std::string& name) const;
 
   /// True if `--help` appeared; callers should print `help_text()` and exit.
   [[nodiscard]] bool help_requested() const { return help_requested_; }
@@ -62,7 +70,7 @@ class ArgParser {
   [[nodiscard]] bool was_set(const std::string& name) const;
 
  private:
-  enum class Kind { Int, Double, String, Flag };
+  enum class Kind { Int, Double, String, Flag, StringList };
 
   struct Option {
     Kind kind;
@@ -70,6 +78,7 @@ class ArgParser {
     std::int64_t int_value = 0;
     double double_value = 0.0;
     std::string string_value;
+    std::vector<std::string> list_value;
     bool flag_value = false;
     bool set_on_cli = false;
   };

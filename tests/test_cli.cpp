@@ -139,6 +139,34 @@ TEST(Cli, LastOccurrenceWins) {
   EXPECT_EQ(args.get_int("n"), 20);
 }
 
+TEST(Cli, StringListDefaultsApplyWhenAbsent) {
+  ArgParser args("p", "d");
+  args.add_string_list("strategy", {"nearest", "two-choice"}, "spec");
+  const auto argv = argv_of({});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  const std::vector<std::string> expected = {"nearest", "two-choice"};
+  EXPECT_EQ(args.get_string_list("strategy"), expected);
+  EXPECT_FALSE(args.was_set("strategy"));
+}
+
+TEST(Cli, StringListAccumulatesAndReplacesDefaults) {
+  ArgParser args("p", "d");
+  args.add_string_list("strategy", {"nearest"}, "spec");
+  const auto argv = argv_of(
+      {"--strategy", "least-loaded(r=8)", "--strategy=prox-weighted(d=2)"});
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  const std::vector<std::string> expected = {"least-loaded(r=8)",
+                                             "prox-weighted(d=2)"};
+  EXPECT_EQ(args.get_string_list("strategy"), expected);
+  EXPECT_TRUE(args.was_set("strategy"));
+}
+
+TEST(Cli, StringListHelpMarksRepeatable) {
+  ArgParser args("p", "d");
+  args.add_string_list("strategy", {"nearest"}, "spec");
+  EXPECT_NE(args.help_text().find("repeatable"), std::string::npos);
+}
+
 // CLI-facing config validation: the knobs bench/example binaries forward
 // from the command line must be rejected by ExperimentConfig::validate()
 // before a run starts, not fail deep inside the simulator.

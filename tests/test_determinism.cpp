@@ -177,6 +177,82 @@ TEST(Determinism, SharedContextIsPoolInvariant) {
   expect_identical(sequential, run_experiment(config, runs, nullptr));
 }
 
+// The strategy registry inherits the seed contract: the default config
+// routed through an explicit StrategySpec (the registry path) must keep
+// reproducing the exact pre-redesign golden numbers for both paper
+// strategies. This is the proof that the StrategySpec/StrategyRegistry
+// redesign is behavior-preserving where it overlaps the paper.
+TEST(Determinism, RegistrySpecPathMatchesEnumGoldenMaster) {
+  ExperimentConfig config;  // n=2025, K=500, M=10, seed=0x5EED
+  config.strategy_spec = parse_strategy_spec("two-choice(d=2)");
+  const RunResult two_choice = run_simulation(config, 0);
+  EXPECT_EQ(two_choice.max_load, 3u);
+  EXPECT_EQ(two_choice.requests, 2025u);
+  EXPECT_EQ(two_choice.fallbacks, 0u);
+  EXPECT_EQ(two_choice.resampled, 0u);
+  EXPECT_EQ(two_choice.dropped, 0u);
+  EXPECT_DOUBLE_EQ(two_choice.comm_cost, 22.430617283950617);
+
+  // And the nearest-replica golden from the Hotspot contract below, via
+  // the registry path.
+  ExperimentConfig hotspot;
+  hotspot.num_nodes = 1024;
+  hotspot.num_files = 300;
+  hotspot.cache_size = 8;
+  hotspot.origins.kind = OriginKind::Hotspot;
+  hotspot.origins.hotspot_fraction = 0.6;
+  hotspot.origins.hotspot_radius = 4;
+  hotspot.strategy_spec = parse_strategy_spec("nearest");
+  hotspot.seed = 1234;
+  const RunResult nearest = run_simulation(hotspot, 0);
+  EXPECT_EQ(nearest.max_load, 14u);
+  EXPECT_EQ(nearest.requests, 1024u);
+  EXPECT_DOUBLE_EQ(nearest.comm_cost, 3.9404296875);
+}
+
+// Every scenario preset driven through explicit specs is bit-identical to
+// the same preset driven through the legacy enum knobs.
+TEST(Determinism, SpecPathIsPresetInvariant) {
+  for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
+    ExperimentConfig legacy = scenario.config;
+    legacy.num_nodes = 400;
+    legacy.num_files = 80;
+    legacy.cache_size = 6;
+    legacy.seed = 808;
+    for (const char* spec : {"nearest", "two-choice(d=2)"}) {
+      ExperimentConfig via_spec = legacy;
+      via_spec.strategy_spec = parse_strategy_spec(spec);
+      legacy.strategy.kind = via_spec.strategy_spec.name == "nearest"
+                                 ? StrategyKind::NearestReplica
+                                 : StrategyKind::TwoChoice;
+      const RunResult a = run_simulation(legacy, 0);
+      const RunResult b = run_simulation(via_spec, 0);
+      EXPECT_EQ(a.max_load, b.max_load) << scenario.name << " " << spec;
+      EXPECT_EQ(a.comm_cost, b.comm_cost) << scenario.name << " " << spec;
+      EXPECT_EQ(a.requests, b.requests) << scenario.name << " " << spec;
+      EXPECT_EQ(a.fallbacks, b.fallbacks) << scenario.name << " " << spec;
+      EXPECT_EQ(a.load_histogram.counts(), b.load_histogram.counts())
+          << scenario.name << " " << spec;
+    }
+  }
+}
+
+// The new registry strategies satisfy the same reproducibility contract as
+// the paper pair: pool-invariant and rerun-stable.
+TEST(Determinism, ExtensionStrategiesArePoolInvariant) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 0.9;
+  config.seed = 707;
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=8)");
+  expect_pool_invariant(config);
+  config.strategy_spec = parse_strategy_spec("prox-weighted(d=2, alpha=1.5)");
+  expect_pool_invariant(config);
+}
+
 // Golden master for the Hotspot origin draw order (bernoulli, then disc or
 // uniform draw): these values were produced by the pre-TraceSource
 // `generate_trace` at the same seed and must never change. Uniform

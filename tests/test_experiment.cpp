@@ -112,6 +112,35 @@ TEST(ConfigValidation, RejectsZeroStaleBatch) {
   EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
 }
 
+// validate() delegates per-strategy checks to the StrategyRegistry: the
+// spec must name a registered strategy and every parameter must pass that
+// entry's rules before a run starts.
+TEST(ConfigValidation, RejectsUnknownStrategySpecName) {
+  ExperimentConfig config = base_config();
+  config.strategy_spec.name = "round-robin";
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsUnknownStrategySpecParam) {
+  ExperimentConfig config = base_config();
+  config.strategy_spec = parse_strategy_spec("nearest(d=2)");
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsOutOfRangeStrategySpecParams) {
+  ExperimentConfig config = base_config();
+  config.strategy_spec = parse_strategy_spec("two-choice(d=99)");
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.strategy_spec = parse_strategy_spec("two-choice(beta=2)");
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.strategy_spec = parse_strategy_spec("two-choice(r=-3)");
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.strategy_spec = parse_strategy_spec("prox-weighted(alpha=-1)");
+  EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=8)");
+  EXPECT_NO_THROW(config.validate());
+}
+
 TEST(ConfigValidation, RejectsHotspotFractionOutsideUnitInterval) {
   ExperimentConfig config = base_config();
   config.origins.kind = OriginKind::Hotspot;

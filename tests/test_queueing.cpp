@@ -109,5 +109,22 @@ TEST(Supermarket, ValidatesParameters) {
   EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
 }
 
+// The queueing model cannot honor the stale-information parameter (queue
+// lengths are live by construction); a spec requesting it must be rejected
+// rather than silently simulating a different model.
+TEST(Supermarket, RejectsStaleSpecParameter) {
+  QueueingConfig config = base_config();
+  config.network.strategy_spec =
+      parse_strategy_spec("two-choice(r=8, stale=64)");
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+  config.network.strategy_spec = parse_strategy_spec("two-choice(r=8)");
+  EXPECT_NO_THROW(run_supermarket(config, 1));
+  // The legacy knob maps onto the same spec parameter and is equally
+  // rejected instead of the historical silent ignore.
+  config.network.strategy_spec = {};
+  config.network.strategy.stale_batch = 64;
+  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace proxcache

@@ -1,0 +1,477 @@
+// Tests for the strategy registry (strategy/registry.hpp): catalog
+// contents, spec validation (unknown names/keys, out-of-range values),
+// factory wiring, legacy-config equivalence, and behavioral sanity of the
+// two extension strategies the open API enables.
+#include "strategy/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "scenario/registry.hpp"
+#include "strategy/least_loaded.hpp"
+#include "strategy/prox_weighted.hpp"
+
+namespace proxcache {
+namespace {
+
+void expect_invalid(const StrategySpec& spec, const std::string& needle) {
+  try {
+    StrategyRegistry::built_ins().validate(spec);
+    FAIL() << "expected spec '" << spec.to_string() << "' to be rejected";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(needle), std::string::npos)
+        << "message '" << message << "' does not mention '" << needle << "'";
+  }
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 0.9;
+  config.seed = 20250729;
+  return config;
+}
+
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.comm_cost, b.comm_cost);  // bitwise, deliberately
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.resampled, b.resampled);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.load_histogram.counts(), b.load_histogram.counts());
+}
+
+TEST(StrategyRegistry, BuiltInsCoverPaperAndExtensions) {
+  const StrategyRegistry& registry = StrategyRegistry::built_ins();
+  EXPECT_GE(registry.all().size(), 4u);
+  for (const char* name :
+       {"nearest", "two-choice", "least-loaded", "prox-weighted"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("no-such-strategy"), nullptr);
+}
+
+TEST(StrategyRegistry, AtThrowsListingKnownNames) {
+  try {
+    (void)StrategyRegistry::built_ins().at("bogus");
+    FAIL() << "expected unknown strategy to throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("bogus"), std::string::npos);
+    EXPECT_NE(message.find("two-choice"), std::string::npos);
+    EXPECT_NE(message.find("least-loaded"), std::string::npos);
+  }
+}
+
+TEST(StrategyRegistry, ValidateRejectsUnknownName) {
+  expect_invalid(parse_strategy_spec("three-choice(d=3)"),
+                 "unknown strategy 'three-choice'");
+}
+
+TEST(StrategyRegistry, ValidateRejectsUnknownParamKey) {
+  expect_invalid(parse_strategy_spec("nearest(r=4)"),
+                 "does not take parameter 'r'");
+  expect_invalid(parse_strategy_spec("two-choice(alpha=1)"),
+                 "does not take parameter 'alpha'");
+  expect_invalid(parse_strategy_spec("least-loaded(beta=0.5)"),
+                 "does not take parameter 'beta'");
+}
+
+TEST(StrategyRegistry, ValidateRejectsFractionalIntegerParams) {
+  // Counts/radii/periods silently truncated by the factories would make
+  // the reported spec lie about what was simulated; reject them instead.
+  expect_invalid(parse_strategy_spec("two-choice(r=2.7)"),
+                 "'r' = 2.7 must be an integer");
+  expect_invalid(parse_strategy_spec("two-choice(d=2.9)"),
+                 "must be an integer");
+  expect_invalid(parse_strategy_spec("two-choice(wr=0.5)"),
+                 "must be an integer");
+  expect_invalid(parse_strategy_spec("two-choice(fallback=1.5)"),
+                 "must be an integer");
+  expect_invalid(parse_strategy_spec("least-loaded(stale=1.5)"),
+                 "must be an integer");
+  // inf stays legal for unbounded radii, and genuinely real-valued
+  // parameters still accept fractions.
+  StrategyRegistry::built_ins().validate(
+      parse_strategy_spec("least-loaded(r=inf)"));
+  StrategyRegistry::built_ins().validate(
+      parse_strategy_spec("prox-weighted(alpha=1.5)"));
+}
+
+TEST(StrategyRegistry, ValidateRejectsOutOfRangeValues) {
+  expect_invalid(parse_strategy_spec("two-choice(d=0)"), "'d' = 0");
+  expect_invalid(parse_strategy_spec("two-choice(d=9)"), "'d' = 9");
+  expect_invalid(parse_strategy_spec("two-choice(beta=1.5)"), "'beta' = 1.5");
+  expect_invalid(parse_strategy_spec("two-choice(r=-1)"), "'r' = -1");
+  expect_invalid(parse_strategy_spec("two-choice(fallback=7)"),
+                 "'fallback' = 7");
+  expect_invalid(parse_strategy_spec("prox-weighted(alpha=-0.5)"),
+                 "'alpha' = -0.5");
+  expect_invalid(parse_strategy_spec("two-choice(stale=0)"), "'stale' = 0");
+}
+
+TEST(StrategyRegistry, ValidateAcceptsEveryDefaultedEntry) {
+  for (const StrategyEntry& entry : StrategyRegistry::built_ins().all()) {
+    StrategySpec spec;
+    spec.name = entry.name;
+    StrategyRegistry::built_ins().validate(spec);  // must not throw
+  }
+}
+
+TEST(StrategyRegistry, WithDefaultsFillsDeclaredRuleValues) {
+  const StrategyRegistry& registry = StrategyRegistry::built_ins();
+  for (const StrategyEntry& entry : registry.all()) {
+    StrategySpec bare;
+    bare.name = entry.name;
+    const StrategySpec filled = registry.with_defaults(bare);
+    for (const StrategyParamRule& rule : entry.params) {
+      EXPECT_TRUE(filled.has(rule.key)) << entry.name << "." << rule.key;
+      EXPECT_EQ(filled.get_or(rule.key, -1.0), rule.default_value)
+          << entry.name << "." << rule.key;
+    }
+    // Explicit values win over the declared default.
+    if (!entry.params.empty()) {
+      StrategySpec custom = bare;
+      const StrategyParamRule& rule = entry.params.front();
+      custom.params[rule.key] = rule.min_value;
+      EXPECT_EQ(registry.with_defaults(custom).get_or(rule.key, -1.0),
+                rule.min_value);
+    }
+  }
+}
+
+// The declared rule defaults are what the factories actually run: a bare
+// spec and a spec with every rule default written out must build the same
+// strategy (compared via the name string, which embeds the live knobs).
+TEST(StrategyRegistry, DeclaredDefaultsMatchEffectiveDefaults) {
+  const ExperimentConfig config = small_config();
+  const Lattice lattice =
+      Lattice::from_node_count(config.num_nodes, config.wrap);
+  const Popularity popularity =
+      config.popularity.materialize(config.num_files);
+  Rng rng(13);
+  const Placement placement =
+      Placement::generate(config.num_nodes, popularity, config.cache_size,
+                          config.placement_mode, rng);
+  const ReplicaIndex index(lattice, placement);
+  const StrategyRegistry& registry = StrategyRegistry::built_ins();
+  for (const StrategyEntry& entry : registry.all()) {
+    StrategySpec bare;
+    bare.name = entry.name;
+    EXPECT_EQ(registry.make(bare, index, lattice, config)->name(),
+              registry.make(registry.with_defaults(bare), index, lattice,
+                            config)->name())
+        << entry.name;
+  }
+}
+
+TEST(StrategyRegistry, AddRejectsDuplicatesAndMissingFactories) {
+  StrategyRegistry registry = StrategyRegistry::with_built_ins();
+  StrategyEntry duplicate;
+  duplicate.name = "nearest";
+  duplicate.factory = [](const StrategySpec&, const ReplicaIndex&,
+                         const Lattice&, const ExperimentConfig&)
+      -> std::unique_ptr<Strategy> { return nullptr; };
+  EXPECT_THROW(registry.add(duplicate), std::invalid_argument);
+  StrategyEntry unbuildable;
+  unbuildable.name = "ghost";
+  EXPECT_THROW(registry.add(unbuildable), std::invalid_argument);
+}
+
+TEST(StrategyRegistry, CustomEntryIsConstructible) {
+  // The open-API promise: a new policy is an entry away. Register a
+  // trivial always-first-replica strategy and build it through make().
+  class FirstReplica final : public Strategy {
+   public:
+    explicit FirstReplica(const ReplicaIndex& index) : index_(&index) {}
+    Assignment assign(const Request& request, const LoadView&,
+                      Rng&) override {
+      Assignment a;
+      a.server = index_->placement().replicas(request.file)[0];
+      a.hops = index_->lattice().distance(request.origin, a.server);
+      return a;
+    }
+    [[nodiscard]] std::string name() const override { return "first"; }
+
+   private:
+    const ReplicaIndex* index_;
+  };
+
+  StrategyRegistry registry = StrategyRegistry::with_built_ins();
+  registry.add({"first-replica",
+                "always the first replica in the list",
+                {},
+                [](const StrategySpec&, const ReplicaIndex& index,
+                   const Lattice&, const ExperimentConfig&)
+                    -> std::unique_ptr<Strategy> {
+                  return std::make_unique<FirstReplica>(index);
+                }});
+
+  const ExperimentConfig config = small_config();
+  const Lattice lattice =
+      Lattice::from_node_count(config.num_nodes, config.wrap);
+  const Popularity popularity =
+      config.popularity.materialize(config.num_files);
+  Rng rng(7);
+  const Placement placement =
+      Placement::generate(config.num_nodes, popularity, config.cache_size,
+                          config.placement_mode, rng);
+  const ReplicaIndex index(lattice, placement);
+  const auto strategy = registry.make(parse_strategy_spec("first-replica"),
+                                      index, lattice, config);
+  ASSERT_NE(strategy, nullptr);
+  EXPECT_EQ(strategy->name(), "first");
+}
+
+TEST(StrategyRegistry, GlobalRegistryDrivesTheSimulatorEndToEnd) {
+  // The extension promise, end to end: a policy registered on the global
+  // catalog validates and runs through run_simulation with zero core
+  // changes. Serve everything at the requester's nearest replica's file
+  // list position 0 — behavior does not matter, reachability does.
+  const std::string name = "test-global-policy";
+  if (StrategyRegistry::global().find(name) == nullptr) {
+    class Anywhere final : public Strategy {
+     public:
+      explicit Anywhere(const ReplicaIndex& index) : index_(&index) {}
+      Assignment assign(const Request& request, const LoadView&,
+                        Rng&) override {
+        Assignment a;
+        a.server = index_->placement().replicas(request.file)[0];
+        a.hops = index_->lattice().distance(request.origin, a.server);
+        return a;
+      }
+      [[nodiscard]] std::string name() const override { return "anywhere"; }
+
+     private:
+      const ReplicaIndex* index_;
+    };
+    StrategyRegistry::global().add(
+        {name,
+         "test-only: first replica in the list",
+         {},
+         [](const StrategySpec&, const ReplicaIndex& index, const Lattice&,
+            const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+           return std::make_unique<Anywhere>(index);
+         }});
+  }
+  ExperimentConfig config = small_config();
+  config.strategy_spec.name = name;
+  config.validate();  // global() is consulted: no throw
+  const RunResult result = run_simulation(config, 0);
+  EXPECT_EQ(result.requests, config.num_nodes);
+  EXPECT_EQ(result.dropped, 0u);
+  // built_ins() stays immutable: the custom entry is not there.
+  EXPECT_EQ(StrategyRegistry::built_ins().find(name), nullptr);
+}
+
+TEST(StrategyRegistry, FactoriesProduceExpectedStrategyTypes) {
+  const ExperimentConfig config = small_config();
+  const Lattice lattice =
+      Lattice::from_node_count(config.num_nodes, config.wrap);
+  const Popularity popularity =
+      config.popularity.materialize(config.num_files);
+  Rng rng(11);
+  const Placement placement =
+      Placement::generate(config.num_nodes, popularity, config.cache_size,
+                          config.placement_mode, rng);
+  const ReplicaIndex index(lattice, placement);
+  const StrategyRegistry& registry = StrategyRegistry::built_ins();
+
+  EXPECT_EQ(registry.make(parse_strategy_spec("nearest"), index, lattice,
+                          config)->name(),
+            "nearest-replica");
+  EXPECT_EQ(registry.make(parse_strategy_spec("two-choice(r=16)"), index,
+                          lattice, config)->name(),
+            "two-choice(r=16)");
+  EXPECT_EQ(registry.make(parse_strategy_spec("least-loaded(r=8)"), index,
+                          lattice, config)->name(),
+            "least-loaded(r=8)");
+  EXPECT_EQ(registry.make(parse_strategy_spec("prox-weighted(d=3)"), index,
+                          lattice, config)->name(),
+            "prox-weighted(d=3, alpha=1)");
+}
+
+TEST(StrategyRegistry, LegacyConfigMapsToEquivalentSpec) {
+  StrategyConfig legacy;  // defaults: two-choice, r=inf, d=2
+  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(), "two-choice");
+
+  legacy.kind = StrategyKind::NearestReplica;
+  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(), "nearest");
+
+  legacy.kind = StrategyKind::TwoChoice;
+  legacy.radius = 16;
+  legacy.num_choices = 3;
+  legacy.beta = 0.7;
+  legacy.fallback = FallbackPolicy::Drop;
+  legacy.with_replacement = true;
+  legacy.stale_batch = 32;
+  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(),
+            "two-choice(beta=0.7, d=3, fallback=drop, r=16, stale=32, wr=1)");
+}
+
+TEST(StrategyRegistry, FallbackParamConversionsRoundTrip) {
+  for (const FallbackPolicy policy :
+       {FallbackPolicy::ExpandRadius, FallbackPolicy::NearestReplica,
+        FallbackPolicy::Drop}) {
+    EXPECT_EQ(fallback_policy_from_param(fallback_param(policy)), policy);
+  }
+}
+
+// --- Behavioral sanity of the extension strategies -----------------------
+
+TEST(LeastLoadedStrategy, BalancesAtLeastAsWellAsTwoChoice) {
+  ExperimentConfig config = small_config();
+  config.strategy_spec = parse_strategy_spec("two-choice");
+  const RunResult two = run_simulation(config, 0);
+  config.strategy_spec = parse_strategy_spec("least-loaded");
+  const RunResult all = run_simulation(config, 0);
+  // Probing every replica is the d = |S_j| endpoint of the d-choice
+  // spectrum; with the full candidate set the max load cannot be worse by
+  // more than noise. Allow one unit of slack for tie-breaking randomness.
+  EXPECT_LE(all.max_load, two.max_load + 1);
+  EXPECT_EQ(all.requests, config.num_nodes);
+  EXPECT_EQ(all.dropped, 0u);
+}
+
+TEST(LeastLoadedStrategy, RadiusBoundsTheHops) {
+  ExperimentConfig config = small_config();
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=3,fallback=drop)");
+  const RunResult result = run_simulation(config, 0);
+  // With Drop fallback nothing is served beyond the radius, so the mean
+  // hop count is bounded by it.
+  EXPECT_LE(result.comm_cost, 3.0);
+  EXPECT_GT(result.requests, 0u);
+}
+
+TEST(LeastLoadedStrategy, FallbackPoliciesMatchTwoChoiceSemantics) {
+  ExperimentConfig config = small_config();
+  config.cache_size = 1;  // sparse replicas: r=0 almost never has a candidate
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=0,fallback=drop)");
+  const RunResult dropped = run_simulation(config, 0);
+  EXPECT_GT(dropped.dropped, 0u);
+  EXPECT_GT(dropped.fallbacks, 0u);
+
+  config.strategy_spec =
+      parse_strategy_spec("least-loaded(r=0, fallback=nearest)");
+  const RunResult nearest = run_simulation(config, 0);
+  EXPECT_EQ(nearest.dropped, 0u);
+  EXPECT_GT(nearest.fallbacks, 0u);
+
+  config.strategy_spec =
+      parse_strategy_spec("least-loaded(r=0, fallback=expand)");
+  const RunResult expanded = run_simulation(config, 0);
+  EXPECT_EQ(expanded.dropped, 0u);
+  EXPECT_GT(expanded.fallbacks, 0u);
+}
+
+TEST(ProxWeightedStrategy, AlphaDialsTheCostBalanceTradeoff) {
+  // Larger alpha concentrates candidate mass on nearby replicas, so the
+  // communication cost must fall monotonically (up to noise) as alpha
+  // grows. Average over a few runs to keep the comparison stable.
+  ExperimentConfig config = small_config();
+  auto mean_cost = [&config](const char* spec) {
+    config.strategy_spec = parse_strategy_spec(spec);
+    double total = 0.0;
+    for (std::uint64_t run = 0; run < 5; ++run) {
+      total += run_simulation(config, run).comm_cost;
+    }
+    return total / 5.0;
+  };
+  const double uniform = mean_cost("prox-weighted(alpha=0)");
+  const double mild = mean_cost("prox-weighted(alpha=1.5)");
+  const double sharp = mean_cost("prox-weighted(alpha=6)");
+  EXPECT_LT(mild, uniform);
+  EXPECT_LT(sharp, mild);
+}
+
+TEST(ProxWeightedStrategy, AlphaZeroStillBalances) {
+  ExperimentConfig config = small_config();
+  config.strategy_spec = parse_strategy_spec("prox-weighted(alpha=0, d=2)");
+  const RunResult two_choice_like = run_simulation(config, 0);
+  config.strategy_spec = parse_strategy_spec("nearest");
+  const RunResult nearest = run_simulation(config, 0);
+  // Two uniform choices beat the load-oblivious baseline.
+  EXPECT_LT(two_choice_like.max_load, nearest.max_load);
+  EXPECT_EQ(two_choice_like.dropped, 0u);
+}
+
+TEST(ProxWeightedStrategy, SingleChoiceServesEveryRequest) {
+  ExperimentConfig config = small_config();
+  config.strategy_spec = parse_strategy_spec("prox-weighted(d=1, alpha=2)");
+  const RunResult result = run_simulation(config, 0);
+  EXPECT_EQ(result.requests, config.num_nodes);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.fallbacks, 0u);
+}
+
+// --- Registry path vs. legacy enum path ----------------------------------
+
+// The compat shim contract: a legacy StrategyConfig and its equivalent
+// spec must produce bit-identical runs, for every scenario preset and both
+// paper strategies (the acceptance gate of the redesign).
+TEST(StrategyRegistry, SpecAndLegacyConfigAreBitIdentical) {
+  for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
+    ExperimentConfig legacy = scenario.config;
+    legacy.num_nodes = 400;
+    legacy.num_files = 80;
+    legacy.cache_size = 6;
+    legacy.seed = 909;
+
+    // Strategy I.
+    legacy.strategy.kind = StrategyKind::NearestReplica;
+    ExperimentConfig spec = legacy;
+    spec.strategy = StrategyConfig{};  // spec path must not read the knobs
+    spec.strategy_spec = parse_strategy_spec("nearest");
+    expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
+
+    // Strategy II at a finite radius.
+    legacy.strategy.kind = StrategyKind::TwoChoice;
+    legacy.strategy.radius = 5;
+    spec.strategy_spec = parse_strategy_spec("two-choice(d=2, r=5)");
+    expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
+  }
+}
+
+// The rebinding constructor (scenario x strategy matrix fast path) is
+// bit-identical to building a fresh context per cell.
+TEST(StrategyRegistry, RebindingContextMatchesFreshContext) {
+  ExperimentConfig config = small_config();
+  const SimulationContext base(config);
+  for (const char* spec :
+       {"nearest", "two-choice(r=5)", "least-loaded(r=8)",
+        "prox-weighted(d=2, alpha=1.5)"}) {
+    const SimulationContext rebound(base, parse_strategy_spec(spec));
+    ExperimentConfig fresh = config;
+    fresh.strategy_spec = parse_strategy_spec(spec);
+    expect_same_result(rebound.run(0), SimulationContext(fresh).run(0));
+  }
+  // Rebinding still validates: a bad spec throws instead of running.
+  EXPECT_THROW(SimulationContext(base, parse_strategy_spec("nope")),
+               std::invalid_argument);
+}
+
+TEST(StrategyRegistry, SpecAndLegacyStaleBetaFallbackAreBitIdentical) {
+  ExperimentConfig legacy = small_config();
+  legacy.strategy.kind = StrategyKind::TwoChoice;
+  legacy.strategy.radius = 4;
+  legacy.strategy.fallback = FallbackPolicy::NearestReplica;
+  legacy.strategy.beta = 0.8;
+  legacy.strategy.stale_batch = 4;
+
+  ExperimentConfig spec = legacy;
+  spec.strategy = StrategyConfig{};
+  spec.strategy_spec = parse_strategy_spec(
+      "two-choice(r=4, fallback=nearest, beta=0.8, stale=4)");
+  expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
+}
+
+}  // namespace
+}  // namespace proxcache
