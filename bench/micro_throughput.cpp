@@ -9,6 +9,7 @@
 //
 //   $ ./micro_throughput                      # 10M streamed requests/strategy
 //   $ ./micro_throughput --requests 2000000   # faster CI setting
+//   $ ./micro_throughput --topology "ring(n=4096)"   # non-lattice network
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,10 +42,16 @@ int main(int argc, char** argv) {
   ArgParser args("micro_throughput",
                  "streaming request-loop throughput and peak-RSS bench");
   args.add_int("requests", 10'000'000, "streamed requests per strategy run");
-  args.add_int("n", 2025, "number of servers (perfect square)");
+  args.add_int("n", 2025,
+               "number of servers (perfect square; ignored when "
+               "--topology is set)");
   args.add_int("files", 500, "catalog size K");
   args.add_int("cache", 10, "cache slots M per server");
   args.add_int("seed", 0x5EED, "root seed");
+  args.add_string("topology", "",
+                  "topology spec, e.g. 'ring(n=4096)' or "
+                  "'rgg(n=4096, radius=0.03, seed=1)' (empty = torus of n "
+                  "servers)");
   args.add_string("json", "BENCH_throughput.json",
                   "output JSON path (empty = skip)");
   try {
@@ -71,11 +78,22 @@ int main(int argc, char** argv) {
   base.cache_size = static_cast<std::size_t>(args.get_int("cache"));
   base.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   base.num_requests = requests;
+  if (!args.get_string("topology").empty()) {
+    try {
+      base.topology_spec = parse_topology_spec(args.get_string("topology"));
+      base.validate();
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+  }
 
   std::cout << "== micro_throughput ==\n"
-            << "streaming loop: n=" << base.num_nodes << ", K="
-            << base.num_files << ", M=" << base.cache_size << ", "
-            << requests << " requests per strategy\n\n";
+            << "streaming loop: topology="
+            << base.resolved_topology().to_string() << " (n="
+            << base.resolved_nodes() << "), K=" << base.num_files
+            << ", M=" << base.cache_size << ", " << requests
+            << " requests per strategy\n\n";
 
   const bench::ScopedBenchTimer bench_timer("micro_throughput");
 
@@ -101,10 +119,12 @@ int main(int argc, char** argv) {
   std::vector<ThroughputRow> rows;
   Table table({"strategy", "requests", "seconds", "req/s", "max load",
                "comm cost"});
+  // One base context for the whole sweep: the strategy cells rebind onto
+  // it so the topology (an O(n^2) all-pairs BFS for graph-backed specs) is
+  // materialized once, not once per strategy.
+  const SimulationContext shared(base);
   for (const std::string& entry : cases) {
-    ExperimentConfig config = base;
-    config.strategy_spec = parse_strategy_spec(entry);
-    const SimulationContext context(config);
+    const SimulationContext context(shared, parse_strategy_spec(entry));
     WallTimer timer;
     const RunResult result = context.run(0);
     ThroughputRow row;
@@ -148,7 +168,9 @@ int main(int argc, char** argv) {
     }
     json << "{\n"
          << "  \"bench\": \"micro_throughput\",\n"
-         << "  \"num_nodes\": " << base.num_nodes << ",\n"
+         << "  \"topology\": \"" << base.resolved_topology().to_string()
+         << "\",\n"
+         << "  \"num_nodes\": " << base.resolved_nodes() << ",\n"
          << "  \"num_files\": " << base.num_files << ",\n"
          << "  \"cache_size\": " << base.cache_size << ",\n"
          << "  \"requests_per_run\": " << requests << ",\n"

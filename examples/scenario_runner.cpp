@@ -1,21 +1,27 @@
-// Scenario × strategy matrix runner over the scenario and strategy
+// Scenario × strategy × topology matrix runner over the three open
 // registries.
 //
 // Runs every requested workload scenario (flash crowds, diurnal cycles,
 // catalog churn, temporal locality, adversarial hot keys, plus the paper
-// baselines) under each requested assignment strategy, on the thread pool,
-// and prints one table row per (scenario, strategy) pair — or CSV with
-// --csv. Strategies are spec strings resolved by the StrategyRegistry, so
-// any registered policy (including ones added after this binary was
-// written) can be swept without touching this file.
+// baselines) under each requested assignment strategy, on each requested
+// network topology, on the thread pool — one table row per matrix cell, or
+// CSV with --csv. Strategies and topologies are spec strings resolved by
+// their registries, so any registered policy or network shape (including
+// ones added after this binary was written) can be swept without touching
+// this file.
 //
 //   $ ./scenario_runner --list
 //   $ ./scenario_runner --scenario flash-crowd --runs 40
 //   $ ./scenario_runner --scenario all --csv > matrix.csv
 //   $ ./scenario_runner --strategy "least-loaded(r=8)"
 //                       --strategy "prox-weighted(d=2, alpha=1.5)"
+//   $ ./scenario_runner --scenario hotspot --topology "torus(side=20)"
+//                       --topology "ring(n=400)" --topology "tree"
 #include <algorithm>
+#include <cctype>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +29,7 @@
 #include "core/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "strategy/registry.hpp"
+#include "topology/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,7 +37,8 @@ int main(int argc, char** argv) {
   using namespace proxcache;
 
   ArgParser args("scenario_runner",
-                 "workload-scenario x strategy matrix on the thread pool");
+                 "workload-scenario x strategy x topology matrix on the "
+                 "thread pool");
   args.add_string_list("scenario", {"all"},
                        "scenario name (see --list), repeatable; "
                        "'all' runs the full registry");
@@ -39,11 +47,19 @@ int main(int argc, char** argv) {
       {"nearest", "two-choice", "two-choice(r=8)"},
       "strategy spec string (see --list), repeatable, e.g. "
       "'least-loaded(r=8)' or 'two-choice(d=2, r=16, beta=0.7)'");
+  args.add_string_list(
+      "topology", {"default"},
+      "topology spec string (see --list), repeatable, e.g. 'ring(n=400)' "
+      "or 'tree(branching=4, depth=6)'; 'default' keeps each preset's "
+      "lattice (honoring --n)");
   args.add_flag("list",
-                "print the registered scenarios and strategies, then exit");
+                "print the registered scenarios, strategies and topologies, "
+                "then exit");
   args.add_int("runs", 20, "Monte-Carlo replications per matrix cell");
   args.add_int("seed", 0x5EED, "root seed");
-  args.add_int("n", 0, "override server count (perfect square; 0 = preset)");
+  args.add_int("n", 0,
+               "override server count for 'default' topologies (perfect "
+               "square; 0 = preset)");
   args.add_int("files", 0, "override catalog size K (0 = preset)");
   args.add_int("cache", 0, "override cache slots M (0 = preset)");
   args.add_int("requests", 0, "override requests per run (0 = n requests)");
@@ -62,6 +78,7 @@ int main(int argc, char** argv) {
 
   const ScenarioRegistry& registry = ScenarioRegistry::built_ins();
   const StrategyRegistry& strategies = StrategyRegistry::global();
+  const TopologyRegistry& topologies = TopologyRegistry::global();
   if (args.get_flag("list")) {
     Table listing({"scenario", "summary"});
     for (const Scenario& scenario : registry.all()) {
@@ -74,6 +91,12 @@ int main(int argc, char** argv) {
       strategy_listing.add_row({Cell(entry.name), Cell(entry.summary)});
     }
     strategy_listing.print(std::cout);
+    std::cout << "\n";
+    Table topology_listing({"topology", "summary"});
+    for (const TopologyEntry& entry : topologies.all()) {
+      topology_listing.add_row({Cell(entry.name), Cell(entry.summary)});
+    }
+    topology_listing.print(std::cout);
     return 0;
   }
 
@@ -106,14 +129,45 @@ int main(int argc, char** argv) {
 
   // Every spec is validated up front so a typo in the fourth strategy
   // fails before hours of simulation, not after; duplicates collapse to
-  // one matrix row, like scenarios above.
+  // one matrix row, like scenarios above. The sentinel 'default' topology
+  // stands for "the preset's legacy lattice knobs" (empty TopologySpec).
   std::vector<StrategySpec> specs;
+  std::vector<TopologySpec> topology_specs;
   try {
     for (StrategySpec& spec :
          parse_validated_specs(args.get_string_list("strategy"),
                                strategies)) {
       if (std::find(specs.begin(), specs.end(), spec) == specs.end()) {
         specs.push_back(std::move(spec));
+      }
+    }
+    for (const std::string& text : args.get_string_list("topology")) {
+      // The 'default' sentinel is matched with the same tolerance as any
+      // other spec token: surrounding whitespace trimmed, case-insensitive
+      // (internal whitespace is not collapsed — a name token would not
+      // allow it either).
+      std::size_t begin = 0;
+      std::size_t end = text.size();
+      while (begin < end &&
+             std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+        ++begin;
+      }
+      while (end > begin &&
+             std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+        --end;
+      }
+      std::string token = text.substr(begin, end - begin);
+      for (char& c : token) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      TopologySpec spec;  // empty = preset default
+      if (token != "default") {
+        spec = parse_topology_spec(text);
+        topologies.validate(spec);
+      }
+      if (std::find(topology_specs.begin(), topology_specs.end(), spec) ==
+          topology_specs.end()) {
+        topology_specs.push_back(std::move(spec));
       }
     }
   } catch (const std::invalid_argument& error) {
@@ -124,45 +178,67 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(args.get_int("runs"));
   ThreadPool pool(static_cast<unsigned>(args.get_int("threads")));
 
-  Table table({"scenario", "strategy", "max load", "+/-", "comm cost", "+/-",
-               "fallback %", "drop %"});
+  // Materialize each requested topology exactly once for the whole matrix
+  // (graph-backed ones pay an O(n²) all-pairs BFS), keyed by the resolved
+  // spec string; every (scenario, strategy) cell shares the instance.
+  std::map<std::string, std::shared_ptr<const Topology>> topology_cache;
+
+  Table table({"scenario", "topology", "strategy", "max load", "+/-",
+               "comm cost", "+/-", "fallback %", "drop %"});
   for (const Scenario* scenario : selected) {
-    ExperimentConfig config = scenario->config;
-    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    if (args.get_int("n") > 0) {
-      config.num_nodes = static_cast<std::size_t>(args.get_int("n"));
-    }
-    if (args.get_int("files") > 0) {
-      config.num_files = static_cast<std::size_t>(args.get_int("files"));
-    }
-    if (args.get_int("cache") > 0) {
-      config.cache_size = static_cast<std::size_t>(args.get_int("cache"));
-    }
-    if (args.get_int("requests") > 0) {
-      config.num_requests = static_cast<std::size_t>(args.get_int("requests"));
-    }
-    // One base context per scenario: lattice + popularity are built once
-    // and shared by every strategy cell and every replication on the pool
-    // (the rebinding constructor swaps only the strategy spec).
-    std::optional<SimulationContext> base;
-    try {
-      base.emplace(config);
-    } catch (const std::invalid_argument& error) {
-      std::cerr << "scenario '" << scenario->name
-                << "' with the given overrides is invalid: " << error.what()
-                << "\n";
-      return 2;
-    }
-    for (const StrategySpec& spec : specs) {
-      const SimulationContext context(*base, spec);
-      const ExperimentResult result = run_experiment(context, runs, &pool);
-      table.add_row({Cell(scenario->name), Cell(spec.to_string()),
-                     Cell(result.max_load.mean(), 2),
-                     Cell(result.max_load.standard_error(), 2),
-                     Cell(result.comm_cost.mean(), 2),
-                     Cell(result.comm_cost.standard_error(), 2),
-                     Cell(result.fallback_rate * 100.0, 1),
-                     Cell(result.drop_rate * 100.0, 1)});
+    for (const TopologySpec& topology : topology_specs) {
+      ExperimentConfig config = scenario->config;
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      config.topology_spec = topology;
+      if (topology.empty() && args.get_int("n") > 0) {
+        config.num_nodes = static_cast<std::size_t>(args.get_int("n"));
+      }
+      if (args.get_int("files") > 0) {
+        config.num_files = static_cast<std::size_t>(args.get_int("files"));
+      }
+      if (args.get_int("cache") > 0) {
+        config.cache_size = static_cast<std::size_t>(args.get_int("cache"));
+      }
+      if (args.get_int("requests") > 0) {
+        config.num_requests =
+            static_cast<std::size_t>(args.get_int("requests"));
+      }
+      // One base context per (scenario, topology), riding on the cached
+      // topology; popularity is built once per scenario and shared by
+      // every strategy cell and every replication on the pool (the
+      // rebinding constructor swaps only the strategy).
+      std::optional<SimulationContext> base;
+      try {
+        const std::string key = config.resolved_topology().to_string();
+        auto cached = topology_cache.find(key);
+        if (cached == topology_cache.end()) {
+          config.validate();
+          cached = topology_cache
+                       .emplace(key, TopologyRegistry::global().make(
+                                         config.resolved_topology()))
+                       .first;
+        }
+        base.emplace(config, cached->second);
+      } catch (const std::invalid_argument& error) {
+        std::cerr << "scenario '" << scenario->name << "' on topology '"
+                  << (topology.empty() ? "default" : topology.to_string())
+                  << "' with the given overrides is invalid: "
+                  << error.what() << "\n";
+        return 2;
+      }
+      const std::string topology_label = base->topology().describe();
+      for (const StrategySpec& spec : specs) {
+        const SimulationContext context(*base, spec);
+        const ExperimentResult result = run_experiment(context, runs, &pool);
+        table.add_row({Cell(scenario->name), Cell(topology_label),
+                       Cell(spec.to_string()),
+                       Cell(result.max_load.mean(), 2),
+                       Cell(result.max_load.standard_error(), 2),
+                       Cell(result.comm_cost.mean(), 2),
+                       Cell(result.comm_cost.standard_error(), 2),
+                       Cell(result.fallback_rate * 100.0, 1),
+                       Cell(result.drop_rate * 100.0, 1)});
+      }
     }
   }
   if (args.get_flag("csv")) {

@@ -3,45 +3,76 @@
 #include <sstream>
 
 #include "strategy/registry.hpp"
+#include "topology/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
 
+namespace {
+
+/// True when the spec names one of the two lattice entries — the only
+/// topologies with a `side` the legacy radius checks can compare against.
+bool is_lattice_spec(const TopologySpec& spec) {
+  return spec.name == "torus" || spec.name == "grid";
+}
+
+}  // namespace
+
+TopologySpec ExperimentConfig::resolved_topology() const {
+  return topology_spec.empty() ? topology_spec_from_lattice(num_nodes, wrap)
+                               : topology_spec;
+}
+
+std::size_t ExperimentConfig::resolved_nodes() const {
+  if (topology_spec.empty()) return num_nodes;
+  return TopologyRegistry::global().node_count(topology_spec);
+}
+
 StrategySpec ExperimentConfig::resolved_strategy() const {
-  return strategy_spec.empty() ? strategy_spec_from_config(strategy)
-                               : strategy_spec;
+  if (!strategy_spec.empty()) return strategy_spec;
+  StrategySpec spec;
+  spec.name = "two-choice";
+  return spec;
 }
 
 void ExperimentConfig::validate() const {
-  PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
-                    "num_nodes must be a perfect square, got " +
-                        std::to_string(num_nodes));
+  if (topology_spec.empty()) {
+    PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
+                      "num_nodes must be a perfect square, got " +
+                          std::to_string(num_nodes));
+  }
+  // Per-topology and per-strategy validation is the registries' job:
+  // unknown names, unknown parameter keys and out-of-range values all throw
+  // from here. The global catalogs are consulted so registered custom
+  // entries validate too.
+  // with_defaults validates (unknown name/key, ranges, node-count cap)
+  // and returns the defaults-filled spec the side check below reads —
+  // one registry pass, no drift from the declared defaults.
+  const TopologySpec topology =
+      TopologyRegistry::global().with_defaults(resolved_topology());
   PROXCACHE_REQUIRE(num_files >= 1, "num_files must be >= 1");
   PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
-  // Per-strategy validation is the registry's job: unknown names, unknown
-  // parameter keys and out-of-range values all throw from here. The global
-  // catalog is consulted so registered custom strategies validate too.
   StrategyRegistry::global().validate(resolved_strategy());
-  // The legacy knobs keep their historical checks (they apply even when a
-  // spec overrides them, so stale configs fail loudly rather than silently).
-  PROXCACHE_REQUIRE(strategy.num_choices >= 1 && strategy.num_choices <= 8,
-                    "num_choices must be in [1, 8]");
-  PROXCACHE_REQUIRE(strategy.beta >= 0.0 && strategy.beta <= 1.0,
-                    "beta must be in [0, 1]");
-  PROXCACHE_REQUIRE(strategy.stale_batch >= 1,
-                    "stale_batch must be >= 1 (1 = always-fresh loads)");
   if (popularity.kind == PopularityKind::Zipf) {
     PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
   }
 
-  const auto side = static_cast<Hop>(
-      Lattice::from_node_count(num_nodes, wrap).side());
+  // Demand-disc radii are bounded by the lattice side on lattice
+  // topologies (the historical check). Non-lattice topologies have no
+  // side; their discs are simply capped at the diameter when collected.
+  const bool lattice_backed = is_lattice_spec(topology);
+  const auto side = lattice_backed
+                        ? static_cast<Hop>(topology.get_or("side", 0.0))
+                        : Hop{0};
   if (origins.kind == OriginKind::Hotspot) {
     PROXCACHE_REQUIRE(
         origins.hotspot_fraction >= 0.0 && origins.hotspot_fraction <= 1.0,
         "hotspot_fraction must be in [0, 1]");
-    PROXCACHE_REQUIRE(origins.hotspot_radius < side,
-                      "hotspot_radius must be smaller than the lattice side");
+    if (lattice_backed) {
+      PROXCACHE_REQUIRE(
+          origins.hotspot_radius < side,
+          "hotspot_radius must be smaller than the lattice side");
+    }
   }
 
   switch (trace.kind) {
@@ -57,8 +88,11 @@ void ExperimentConfig::validate() const {
           trace.flash_start >= 0.0 && trace.flash_start < trace.flash_end &&
               trace.flash_end <= 1.0,
           "flash window must satisfy 0 <= start < end <= 1");
-      PROXCACHE_REQUIRE(trace.flash_radius < side,
-                        "flash_radius must be smaller than the lattice side");
+      if (lattice_backed) {
+        PROXCACHE_REQUIRE(
+            trace.flash_radius < side,
+            "flash_radius must be smaller than the lattice side");
+      }
       break;
     case TraceKind::Diurnal:
       PROXCACHE_REQUIRE(popularity.kind == PopularityKind::Zipf,
@@ -95,8 +129,8 @@ void ExperimentConfig::validate() const {
 
 std::string ExperimentConfig::describe() const {
   std::ostringstream os;
-  os << "n=" << num_nodes << " K=" << num_files << " M=" << cache_size
-     << " " << to_string(wrap) << " "
+  os << "n=" << resolved_nodes() << " K=" << num_files << " M=" << cache_size
+     << " " << resolved_topology().to_string() << " "
      << popularity.materialize(num_files).describe() << " ";
   if (trace.kind != TraceKind::Static) {
     os << "trace=" << to_string(trace.kind) << " ";

@@ -14,19 +14,10 @@
 #include "scenario/trace_spec.hpp"
 #include "strategy/spec.hpp"
 #include "topology/lattice.hpp"
+#include "topology/spec.hpp"
 #include "util/types.hpp"
 
 namespace proxcache {
-
-/// \deprecated Compat shim for pre-StrategySpec code. The strategy layer is
-/// open now (strategy/registry.hpp); new code should set
-/// `ExperimentConfig::strategy_spec` (e.g. `parse_strategy_spec("nearest")`)
-/// instead of this closed enum. Scheduled for removal once the remaining
-/// legacy call sites migrate.
-enum class StrategyKind : std::uint8_t {
-  NearestReplica,  ///< paper Strategy I (Definition 2)
-  TwoChoice,       ///< paper Strategy II (Definition 3), generalized to d
-};
 
 /// What to do when a requested file has no replica anywhere (possible under
 /// i.i.d. placement; the paper's analysis conditions on cached files).
@@ -58,7 +49,8 @@ struct OriginSpec {
   OriginKind kind = OriginKind::Uniform;
   /// Fraction of requests born inside the hotspot (Hotspot only).
   double hotspot_fraction = 0.5;
-  /// Hotspot disc radius (Hotspot only).
+  /// Hotspot disc radius (Hotspot only). The disc is `B_radius` around the
+  /// topology's `central_node()`.
   Hop hotspot_radius = 5;
 };
 
@@ -74,35 +66,18 @@ struct PopularitySpec {
   }
 };
 
-/// \deprecated Compat shim: legacy strategy knobs, honored only while
-/// `ExperimentConfig::strategy_spec` is empty (see `resolved_strategy()`,
-/// which maps them onto an equivalent StrategySpec bit-identically). New
-/// code should express strategies as specs — they cover every knob here
-/// (`d`, `r`, `beta`, `fallback`, `wr`, `stale`) plus the registry's
-/// extension strategies. Scheduled for removal with StrategyKind.
-struct StrategyConfig {
-  StrategyKind kind = StrategyKind::TwoChoice;
-  /// Proximity radius `r` (Strategy II only); kUnboundedRadius = r = ∞.
-  Hop radius = kUnboundedRadius;
-  /// Number of candidate choices `d` (Strategy II only); paper uses 2.
-  std::uint32_t num_choices = 2;
-  /// Draw candidates with replacement (ablation; default without).
-  bool with_replacement = false;
-  FallbackPolicy fallback = FallbackPolicy::ExpandRadius;
-  /// Mitzenmacher's (1+β) process: with probability `beta` use the full
-  /// d-choice comparison, otherwise a single uniform candidate. β = 1 is
-  /// the paper's strategy; β < 1 models saving load-probe traffic.
-  double beta = 1.0;
-  /// Load-information staleness (paper §VI "periodic polling"): the
-  /// strategy compares loads from a snapshot refreshed every
-  /// `stale_batch` requests. 1 = always fresh (paper model).
-  std::uint32_t stale_batch = 1;
-};
-
 /// Full experiment description.
 struct ExperimentConfig {
+  /// Legacy lattice knobs: used only while `topology_spec` is empty, and
+  /// then mapped bit-identically onto a `torus(side=√n)` / `grid(side=√n)`
+  /// registry spec by `resolved_topology()`. When `topology_spec` is set
+  /// these two are ignored and the node count derives from the spec.
   std::size_t num_nodes = 2025;  ///< n; must be a perfect square
   Wrap wrap = Wrap::Torus;
+  /// Which network topology the servers form, as a registry spec
+  /// (topology/registry.hpp), e.g. `parse_topology_spec("ring(n=4096)")`.
+  /// When empty (the default) the legacy lattice knobs above apply.
+  TopologySpec topology_spec;
   std::size_t num_files = 500;   ///< K
   std::size_t cache_size = 10;   ///< M
   PlacementMode placement_mode = PlacementMode::ProportionalWithReplacement;
@@ -117,20 +92,27 @@ struct ExperimentConfig {
   MissingFilePolicy missing = MissingFilePolicy::Resample;
   /// Which assignment strategy serves requests, as a registry spec
   /// (strategy/registry.hpp), e.g. `parse_strategy_spec("least-loaded(r=8)")`.
-  /// When empty (the default) the legacy `strategy` knobs below apply.
+  /// When empty (the default) the paper's two-choice strategy with registry
+  /// defaults applies.
   StrategySpec strategy_spec;
-  /// \deprecated Legacy strategy knobs; see StrategyConfig. Ignored when
-  /// `strategy_spec` is set.
-  StrategyConfig strategy;
   std::uint64_t seed = 0x5EED;
 
+  /// The node count actually in effect: the topology registry's count for
+  /// `topology_spec` when set, otherwise `num_nodes`.
+  [[nodiscard]] std::size_t resolved_nodes() const;
+
   [[nodiscard]] std::size_t effective_requests() const {
-    return num_requests == 0 ? num_nodes : num_requests;
+    return num_requests == 0 ? resolved_nodes() : num_requests;
   }
 
+  /// The topology actually in effect: `topology_spec` when set, otherwise
+  /// the legacy lattice knobs mapped onto an equivalent registry spec. This
+  /// is what the simulator hands to TopologyRegistry::make.
+  [[nodiscard]] TopologySpec resolved_topology() const;
+
   /// The strategy actually in effect: `strategy_spec` when set, otherwise
-  /// the legacy `strategy` knobs mapped onto an equivalent spec. This is
-  /// what the simulator hands to StrategyRegistry::make.
+  /// the registry-default two-choice strategy. This is what the simulator
+  /// hands to StrategyRegistry::make.
   [[nodiscard]] StrategySpec resolved_strategy() const;
 
   /// Throws std::invalid_argument when inconsistent (n not square, M < 1…).

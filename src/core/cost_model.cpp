@@ -6,11 +6,10 @@
 
 namespace proxcache {
 
-double expected_nearest_distance(const Lattice& lattice, double q) {
+double expected_nearest_distance(const Topology& topology, double q) {
   PROXCACHE_REQUIRE(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
-  const std::size_t n = lattice.size();
-  const NodeId origin =
-      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
+  const std::size_t n = topology.size();
+  const NodeId origin = topology.central_node();
   const double log_miss = std::log1p(-std::min(q, 1.0 - 1e-15));
   // P(no replica anywhere) — conditioning denominator.
   const double p_empty = std::exp(static_cast<double>(n) * log_miss);
@@ -19,8 +18,8 @@ double expected_nearest_distance(const Lattice& lattice, double q) {
 
   double expected = 0.0;
   std::size_t ball = 0;
-  for (Hop d = 0; d < lattice.diameter(); ++d) {
-    ball += lattice.shell_size(origin, d);
+  for (Hop d = 0; d < topology.diameter(); ++d) {
+    ball += topology.shell_size(origin, d);
     // P(D > d) unconditioned = (1-q)^{|B_d|}; condition on availability.
     const double survivor =
         std::exp(static_cast<double>(ball) * log_miss);
@@ -29,11 +28,11 @@ double expected_nearest_distance(const Lattice& lattice, double q) {
   return expected;
 }
 
-double nearest_cost_model(const Lattice& lattice,
+double nearest_cost_model(const Topology& topology,
                           const Popularity& popularity,
                           std::size_t cache_size) {
   PROXCACHE_REQUIRE(cache_size >= 1, "cache size must be >= 1");
-  const auto n = static_cast<double>(lattice.size());
+  const auto n = static_cast<double>(topology.size());
   double weighted_cost = 0.0;
   double weight = 0.0;
   for (FileId j = 0; j < popularity.num_files(); ++j) {
@@ -43,7 +42,7 @@ double nearest_cost_model(const Lattice& lattice,
         1.0 - std::pow(1.0 - p, static_cast<double>(cache_size));
     const double availability = 1.0 - std::exp(n * std::log1p(-q));
     if (availability <= 0.0) continue;
-    weighted_cost += p * availability * expected_nearest_distance(lattice, q);
+    weighted_cost += p * availability * expected_nearest_distance(topology, q);
     weight += p * availability;
   }
   PROXCACHE_REQUIRE(weight > 0.0, "no file is ever available");

@@ -17,20 +17,21 @@
 /// Theorem 3 benches.
 
 #include "catalog/popularity.hpp"
-#include "topology/lattice.hpp"
+#include "topology/topology.hpp"
 
 namespace proxcache {
 
 /// Exact `E[D | at least one replica exists]` for per-node caching
 /// probability `q` in (0, 1]. O(diameter) per call (ball sizes are
-/// evaluated from a fixed origin; exact on the torus, a center-node
-/// approximation on the bounded grid).
-double expected_nearest_distance(const Lattice& lattice, double q);
+/// evaluated from the topology's central node; exact on the torus, a
+/// center-node approximation on topologies whose shells depend on the
+/// origin — the bounded grid, trees, irregular graphs).
+double expected_nearest_distance(const Topology& topology, double q);
 
 /// Exact Strategy I communication cost model under the Resample
 /// missing-file policy: availability-weighted mixture of
 /// `expected_nearest_distance` over the library.
-double nearest_cost_model(const Lattice& lattice,
+double nearest_cost_model(const Topology& topology,
                           const Popularity& popularity,
                           std::size_t cache_size);
 

@@ -19,11 +19,11 @@ std::vector<Request> generate_trace(std::size_t num_nodes,
   return materialize(source, count, rng);
 }
 
-std::vector<Request> generate_trace(const Lattice& lattice,
+std::vector<Request> generate_trace(const Topology& topology,
                                     const OriginSpec& origins,
                                     const Popularity& popularity,
                                     std::size_t count, Rng& rng) {
-  StaticTraceSource source(lattice, origins, popularity);
+  StaticTraceSource source(topology, origins, popularity);
   return materialize(source, count, rng);
 }
 

@@ -15,7 +15,7 @@
 #include "catalog/popularity.hpp"
 #include "core/config.hpp"
 #include "random/rng.hpp"
-#include "topology/lattice.hpp"
+#include "topology/topology.hpp"
 #include "util/types.hpp"
 
 namespace proxcache {
@@ -40,9 +40,9 @@ std::vector<Request> generate_trace(std::size_t num_nodes,
 
 /// Generate `count` requests with a configurable origin distribution (the
 /// Hotspot extension places `hotspot_fraction` of origins uniformly inside
-/// `B_radius(center)` around the lattice center). Files i.i.d. from
-/// `popularity`.
-std::vector<Request> generate_trace(const Lattice& lattice,
+/// `B_radius(center)` around the topology's central node). Files i.i.d.
+/// from `popularity`.
+std::vector<Request> generate_trace(const Topology& topology,
                                     const OriginSpec& origins,
                                     const Popularity& popularity,
                                     std::size_t count, Rng& rng);

@@ -10,6 +10,7 @@
 #include "scenario/trace_source.hpp"
 #include "spatial/replica_index.hpp"
 #include "strategy/registry.hpp"
+#include "topology/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -25,20 +26,42 @@ const ExperimentConfig& validated(const ExperimentConfig& config) {
 
 SimulationContext::SimulationContext(const ExperimentConfig& config)
     : config_(validated(config)),
-      lattice_(Lattice::from_node_count(config_.num_nodes, config_.wrap)),
-      popularity_(config_.popularity.materialize(config_.num_files)) {}
+      topology_(TopologyRegistry::global().make(config_.resolved_topology())),
+      popularity_(config_.popularity.materialize(config_.num_files)) {
+  // Synchronize the legacy node-count knob with the materialized topology
+  // so placement, trackers and `effective_requests` all agree on `n` even
+  // when the spec (not `num_nodes`) decided it.
+  config_.num_nodes = topology_->size();
+  horizon_ = config_.effective_requests();
+}
 
 SimulationContext::SimulationContext(const SimulationContext& base,
                                      StrategySpec strategy)
     : config_(base.config_),
-      lattice_(base.lattice_),
-      popularity_(base.popularity_) {
+      topology_(base.topology_),
+      popularity_(base.popularity_),
+      horizon_(base.horizon_) {
   config_.strategy_spec = std::move(strategy);
   config_.validate();
 }
 
+SimulationContext::SimulationContext(const ExperimentConfig& config,
+                                     std::shared_ptr<const Topology> topology)
+    : config_(validated(config)),
+      topology_(std::move(topology)),
+      popularity_(config_.popularity.materialize(config_.num_files)) {
+  PROXCACHE_REQUIRE(topology_ != nullptr, "topology must not be null");
+  PROXCACHE_REQUIRE(
+      topology_->size() == config_.resolved_nodes(),
+      "shared topology disagrees with the config's resolved node count");
+  config_.num_nodes = topology_->size();
+  horizon_ = config_.effective_requests();
+}
+
 RunResult SimulationContext::run(std::uint64_t run_index) const {
-  const std::size_t horizon = config_.effective_requests();
+  // Resolved once at construction (effective_requests() would re-resolve
+  // the topology spec through the registry on every replication).
+  const std::size_t horizon = horizon_;
 
   Rng placement_rng(
       derive_seed(config_.seed, {run_index, seed_phase::kPlacement}));
@@ -48,7 +71,7 @@ RunResult SimulationContext::run(std::uint64_t run_index) const {
 
   Rng trace_rng(derive_seed(config_.seed, {run_index, seed_phase::kTrace}));
   const std::unique_ptr<TraceSource> source =
-      make_trace_source(config_, lattice_, popularity_, horizon);
+      make_trace_source(config_, *topology_, popularity_, horizon);
 
   // Repair-stream contract: the materialized pipeline drew all Resample
   // repairs *after* the full generation sequence, on the one trace-phase
@@ -61,7 +84,7 @@ RunResult SimulationContext::run(std::uint64_t run_index) const {
   if (config_.missing == MissingFilePolicy::Resample &&
       placement.files_with_replicas() < config_.num_files) {
     const std::unique_ptr<TraceSource> scout =
-        make_trace_source(config_, lattice_, popularity_, horizon);
+        make_trace_source(config_, *topology_, popularity_, horizon);
     for (std::size_t i = 0; i < horizon; ++i) {
       (void)scout->next(repair_rng);
     }
@@ -75,12 +98,12 @@ RunResult SimulationContext::run(std::uint64_t run_index) const {
   // unset parameters from the registry rules (so the `stale` read below
   // sees the entry's declared default), after which the entry's factory is
   // invoked directly — replications pay for one validation pass, not two.
-  const ReplicaIndex index(lattice_, placement);
+  const ReplicaIndex index(*topology_, placement);
   const StrategyRegistry& registry = StrategyRegistry::global();
   const StrategySpec spec =
       registry.with_defaults(config_.resolved_strategy());
   const std::unique_ptr<Strategy> strategy =
-      registry.at(spec.name).factory(spec, index, lattice_, config_);
+      registry.at(spec.name).factory(spec, index, *topology_, config_);
 
   Rng strategy_rng(
       derive_seed(config_.seed, {run_index, seed_phase::kStrategy}));

@@ -14,9 +14,11 @@
 /// rebuilding it per run.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/config.hpp"
 #include "stats/histogram.hpp"
+#include "topology/topology.hpp"
 #include "util/types.hpp"
 
 namespace proxcache {
@@ -36,10 +38,15 @@ struct RunResult {
 };
 
 /// Immutable per-config state shared by every replication of one
-/// experiment: the validated config plus the materialized lattice and
+/// experiment: the validated config plus the materialized topology and
 /// popularity profile. Construct once, then call `run` from any thread —
 /// `run` is const and builds only per-run state (placement, replica index,
 /// strategy, tracker), all sized by the network, never by the trace.
+///
+/// The topology is built once through the TopologyRegistry (which can be
+/// expensive — all-pairs BFS for graph topologies) and shared by reference
+/// with rebound contexts; `config().num_nodes` is synchronized to the
+/// materialized node count so every downstream consumer agrees on `n`.
 class SimulationContext {
  public:
   /// Validates `config` (throws std::invalid_argument when inconsistent)
@@ -47,13 +54,21 @@ class SimulationContext {
   explicit SimulationContext(const ExperimentConfig& config);
 
   /// Rebind `base`'s experiment to a different assignment strategy without
-  /// rebuilding the lattice or popularity profile — the scenario × strategy
-  /// matrix fast path (the shared state is strategy-independent). Validates
-  /// the resulting config.
+  /// rebuilding the topology or popularity profile — the scenario ×
+  /// strategy matrix fast path (the shared state is strategy-independent).
+  /// Validates the resulting config.
   SimulationContext(const SimulationContext& base, StrategySpec strategy);
 
+  /// Build a context for `config` reusing an already-materialized
+  /// `topology` — the matrix fast path along the *scenario* axis, where
+  /// many configs share one (potentially O(n²)-construction) topology.
+  /// `topology` must be the one `config.resolved_topology()` describes;
+  /// enforced by a node-count check plus the registry's validation.
+  SimulationContext(const ExperimentConfig& config,
+                    std::shared_ptr<const Topology> topology);
+
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
-  [[nodiscard]] const Lattice& lattice() const { return lattice_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] const Popularity& popularity() const { return popularity_; }
 
   /// Execute replication `run_index` with the streaming request loop.
@@ -62,8 +77,11 @@ class SimulationContext {
 
  private:
   ExperimentConfig config_;
-  Lattice lattice_;
+  std::shared_ptr<const Topology> topology_;
   Popularity popularity_;
+  /// `config().effective_requests()`, resolved once at construction so
+  /// replications never re-resolve the topology spec.
+  std::size_t horizon_ = 0;
 };
 
 /// Execute one run of the configured experiment. One-shot convenience over

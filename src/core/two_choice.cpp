@@ -35,10 +35,10 @@ std::uint32_t TwoChoiceStrategy::sample_candidates(NodeId origin, FileId file,
                                                    Hop radius, Rng& rng,
                                                    NodeId out[8]) const {
   const std::uint32_t d = options_.num_choices;
-  const auto& lattice = index_->lattice();
+  const Topology& topology = index_->topology();
   const auto& placement = index_->placement();
 
-  if (radius >= lattice.diameter()) {
+  if (radius >= topology.diameter()) {
     // Unconstrained: sample directly from the replica list S_j.
     const auto replicas = placement.replicas(file);
     const std::size_t count = replicas.size();
@@ -106,7 +106,7 @@ std::uint32_t TwoChoiceStrategy::sample_candidates(NodeId origin, FileId file,
 
 Assignment TwoChoiceStrategy::assign(const Request& request,
                                      const LoadView& loads, Rng& rng) {
-  const auto& lattice = index_->lattice();
+  const Topology& topology = index_->topology();
   Assignment assignment;
 
   NodeId candidates[8];
@@ -140,7 +140,7 @@ Assignment TwoChoiceStrategy::assign(const Request& request,
         return assignment;
       }
       case FallbackPolicy::ExpandRadius: {
-        const Hop diameter = lattice.diameter();
+        const Hop diameter = topology.diameter();
         radius = next_fallback_radius(radius, diameter);
         found = sample_candidates(request.origin, request.file, radius, rng,
                                   candidates);
@@ -174,7 +174,7 @@ Assignment TwoChoiceStrategy::assign(const Request& request,
     }
   }
   assignment.server = chosen;
-  assignment.hops = lattice.distance(request.origin, chosen);
+  assignment.hops = topology.distance(request.origin, chosen);
   return assignment;
 }
 

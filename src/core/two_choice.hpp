@@ -24,7 +24,7 @@
 
 namespace proxcache {
 
-/// Strategy II options (subset of StrategyConfig relevant here).
+/// Strategy II options (bound from the `two-choice` spec parameters).
 struct TwoChoiceOptions {
   Hop radius = kUnboundedRadius;
   std::uint32_t num_choices = 2;

@@ -11,6 +11,7 @@
 #include "random/seeding.hpp"
 #include "spatial/replica_index.hpp"
 #include "strategy/registry.hpp"
+#include "topology/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -63,14 +64,15 @@ QueueingResult run_supermarket(const QueueingConfig& config,
       "warmup fraction must be in [0, 1)");
 
   const auto& net = config.network;
-  const Lattice lattice = Lattice::from_node_count(net.num_nodes, net.wrap);
+  const std::shared_ptr<const Topology> topology =
+      TopologyRegistry::global().make(net.resolved_topology());
   const Popularity popularity = net.popularity.materialize(net.num_files);
 
   Rng placement_rng(derive_seed(seed, {0, seed_phase::kPlacement}));
   const Placement placement = Placement::generate(
-      net.num_nodes, popularity, net.cache_size, net.placement_mode,
+      topology->size(), popularity, net.cache_size, net.placement_mode,
       placement_rng);
-  const ReplicaIndex index(lattice, placement);
+  const ReplicaIndex index(*topology, placement);
 
   // Queueing accepts the exact same spec strings as the batch simulator:
   // join-the-shorter-queue is just the strategy comparing queue lengths
@@ -84,12 +86,12 @@ QueueingResult run_supermarket(const QueueingConfig& config,
                     "'stale' is a batch-simulator parameter (drop it or set "
                     "stale=1)");
   const std::unique_ptr<Strategy> strategy =
-      registry.at(spec.name).factory(spec, index, lattice, net);
+      registry.at(spec.name).factory(spec, index, *topology, net);
 
   Rng rng(derive_seed(seed, {0, seed_phase::kQueueing}));
   const AliasSampler file_sampler(popularity.pmf());
 
-  const std::size_t n = net.num_nodes;
+  const std::size_t n = topology->size();
   const double aggregate_rate = config.arrival_rate * static_cast<double>(n);
   const double warmup = config.horizon * config.warmup_fraction;
 

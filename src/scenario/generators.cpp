@@ -18,16 +18,15 @@ OriginModel::OriginModel(std::size_t num_nodes) : num_nodes_(num_nodes) {
   PROXCACHE_REQUIRE(num_nodes >= 1, "need >= 1 node");
 }
 
-OriginModel::OriginModel(const Lattice& lattice, const OriginSpec& spec)
-    : num_nodes_(lattice.size()) {
+OriginModel::OriginModel(const Topology& topology, const OriginSpec& spec)
+    : num_nodes_(topology.size()) {
   if (spec.kind == OriginKind::Uniform) return;
   PROXCACHE_REQUIRE(
       spec.hotspot_fraction >= 0.0 && spec.hotspot_fraction <= 1.0,
       "hotspot fraction must be in [0, 1]");
   fraction_ = spec.hotspot_fraction;
-  const NodeId center =
-      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
-  disc_ = collect_ball(lattice, center, spec.hotspot_radius);
+  disc_ = collect_ball(topology, topology.central_node(),
+                       spec.hotspot_radius);
 }
 
 NodeId OriginModel::sample(Rng& rng) const {
@@ -48,10 +47,10 @@ StaticTraceSource::StaticTraceSource(std::size_t num_nodes,
                                      const Popularity& popularity)
     : origins_(num_nodes), files_(popularity.pmf()) {}
 
-StaticTraceSource::StaticTraceSource(const Lattice& lattice,
+StaticTraceSource::StaticTraceSource(const Topology& topology,
                                      const OriginSpec& origins,
                                      const Popularity& popularity)
-    : origins_(lattice, origins), files_(popularity.pmf()) {}
+    : origins_(topology, origins), files_(popularity.pmf()) {}
 
 Request StaticTraceSource::next(Rng& rng) {
   Request request;
@@ -68,18 +67,17 @@ std::string StaticTraceSource::describe() const {
 // FlashCrowdTraceSource
 // ---------------------------------------------------------------------------
 
-FlashCrowdTraceSource::FlashCrowdTraceSource(const Lattice& lattice,
+FlashCrowdTraceSource::FlashCrowdTraceSource(const Topology& topology,
                                              const Popularity& popularity,
                                              const TraceSpec& spec,
                                              std::size_t horizon)
-    : num_nodes_(lattice.size()),
+    : num_nodes_(topology.size()),
       files_(popularity.pmf()),
       spec_(spec),
       horizon_(horizon) {
   PROXCACHE_REQUIRE(horizon >= 1, "need >= 1 request");
-  const NodeId center =
-      lattice.node(Point{lattice.side() / 2, lattice.side() / 2});
-  disc_ = collect_ball(lattice, center, spec.flash_radius);
+  disc_ = collect_ball(topology, topology.central_node(),
+                       spec.flash_radius);
 }
 
 double FlashCrowdTraceSource::pulse_fraction(std::size_t t) const {

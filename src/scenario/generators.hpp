@@ -14,7 +14,7 @@
 #include "random/alias_sampler.hpp"
 #include "scenario/trace_source.hpp"
 #include "scenario/trace_spec.hpp"
-#include "topology/lattice.hpp"
+#include "topology/topology.hpp"
 
 namespace proxcache {
 
@@ -26,8 +26,9 @@ class OriginModel {
   /// Uniform origins over `num_nodes` servers.
   explicit OriginModel(std::size_t num_nodes);
 
-  /// Origins per `spec` on `lattice` (hotspot disc around the center).
-  OriginModel(const Lattice& lattice, const OriginSpec& spec);
+  /// Origins per `spec` on `topology` (hotspot disc around
+  /// `topology.central_node()`).
+  OriginModel(const Topology& topology, const OriginSpec& spec);
 
   [[nodiscard]] NodeId sample(Rng& rng) const;
 
@@ -46,7 +47,7 @@ class OriginModel {
 class StaticTraceSource final : public TraceSource {
  public:
   StaticTraceSource(std::size_t num_nodes, const Popularity& popularity);
-  StaticTraceSource(const Lattice& lattice, const OriginSpec& origins,
+  StaticTraceSource(const Topology& topology, const OriginSpec& origins,
                     const Popularity& popularity);
 
   Request next(Rng& rng) override;
@@ -66,7 +67,7 @@ class StaticTraceSource final : public TraceSource {
 /// the horizon (≈ flash_peak·(end-start)/2).
 class FlashCrowdTraceSource final : public TraceSource {
  public:
-  FlashCrowdTraceSource(const Lattice& lattice, const Popularity& popularity,
+  FlashCrowdTraceSource(const Topology& topology, const Popularity& popularity,
                         const TraceSpec& spec, std::size_t horizon);
 
   Request next(Rng& rng) override;

@@ -81,31 +81,31 @@ std::string SanitizingTraceSource::describe() const {
 }
 
 std::unique_ptr<TraceSource> make_trace_source(const ExperimentConfig& config,
-                                               const Lattice& lattice,
+                                               const Topology& topology,
                                                const Popularity& popularity,
                                                std::size_t horizon) {
   const TraceSpec& spec = config.trace;
   switch (spec.kind) {
     case TraceKind::Static:
-      return std::make_unique<StaticTraceSource>(lattice, config.origins,
+      return std::make_unique<StaticTraceSource>(topology, config.origins,
                                                  popularity);
     case TraceKind::FlashCrowd:
       // FlashCrowd defines its own (time-varying) origin process;
       // validate() rejects non-uniform OriginSpec for this kind.
-      return std::make_unique<FlashCrowdTraceSource>(lattice, popularity,
+      return std::make_unique<FlashCrowdTraceSource>(topology, popularity,
                                                      spec, horizon);
     case TraceKind::Diurnal:
       return std::make_unique<DiurnalTraceSource>(
-          OriginModel(lattice, config.origins), popularity, spec, horizon);
+          OriginModel(topology, config.origins), popularity, spec, horizon);
     case TraceKind::Churn:
       return std::make_unique<ChurnTraceSource>(
-          OriginModel(lattice, config.origins), popularity, spec, horizon);
+          OriginModel(topology, config.origins), popularity, spec, horizon);
     case TraceKind::TemporalLocality:
       return std::make_unique<TemporalLocalityTraceSource>(
-          OriginModel(lattice, config.origins), popularity, spec);
+          OriginModel(topology, config.origins), popularity, spec);
     case TraceKind::Adversarial:
       return std::make_unique<AdversarialTraceSource>(
-          OriginModel(lattice, config.origins), popularity, spec);
+          OriginModel(topology, config.origins), popularity, spec);
   }
   throw std::logic_error("unhandled TraceKind");
 }

@@ -105,12 +105,12 @@ class SanitizingTraceSource final : public TraceSource {
 };
 
 /// Build the trace source described by `config.trace` (falling back to the
-/// Static source over `config.origins` / `popularity`). `lattice` and
+/// Static source over `config.origins` / `popularity`). `topology` and
 /// `popularity` must outlive the returned source. `horizon` is the number
 /// of requests the run will draw — time-varying processes scale their
 /// schedules (pulse window, cycles, epochs) to it.
 std::unique_ptr<TraceSource> make_trace_source(const ExperimentConfig& config,
-                                               const Lattice& lattice,
+                                               const Topology& topology,
                                                const Popularity& popularity,
                                                std::size_t horizon);
 

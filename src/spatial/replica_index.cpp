@@ -6,32 +6,20 @@
 
 namespace proxcache {
 
-ReplicaIndex::ReplicaIndex(const Lattice& lattice, const Placement& placement,
-                           std::size_t bucket_threshold)
-    : lattice_(&lattice), placement_(&placement) {
-  PROXCACHE_REQUIRE(lattice.size() == placement.num_nodes(),
-                    "lattice and placement disagree on node count");
-  buckets_.resize(placement.num_files());
-  if (bucket_threshold == 0) return;
-  for (FileId j = 0; j < placement.num_files(); ++j) {
-    const auto list = placement.replicas(j);
-    if (list.size() >= bucket_threshold) {
-      buckets_[j] = std::make_unique<BucketGrid>(
-          lattice, std::vector<NodeId>(list.begin(), list.end()));
-    }
-  }
-}
+namespace {
 
-NearestResult ReplicaIndex::nearest_by_scan(NodeId u, FileId j,
-                                            Rng& rng) const {
-  const auto list = placement_->replicas(j);
+/// One copy of the nearest-scan logic (minimum distance, ties reservoir-
+/// sampled), instantiated for the devirtualized lattice path and the
+/// generic Topology path.
+template <typename TopologyT>
+NearestResult nearest_on(const TopologyT& topology,
+                         std::span<const NodeId> list, NodeId u,
+                         Hop sentinel, Rng& rng) {
   NearestResult result;
-  if (list.empty()) return result;
-
-  Hop best = lattice_->diameter() + 1;
+  Hop best = sentinel;
   ReservoirOne reservoir(rng);
   for (const NodeId v : list) {
-    const Hop d = lattice_->distance(u, v);
+    const Hop d = topology.distance(u, v);
     if (d < best) {
       best = d;
       reservoir = ReservoirOne(rng);  // restart ties at the new minimum
@@ -46,13 +34,48 @@ NearestResult ReplicaIndex::nearest_by_scan(NodeId u, FileId j,
   return result;
 }
 
+}  // namespace
+
+ReplicaIndex::ReplicaIndex(const Topology& topology,
+                           const Placement& placement,
+                           std::size_t bucket_threshold)
+    : topology_(&topology),
+      lattice_(topology.as_lattice()),
+      placement_(&placement) {
+  PROXCACHE_REQUIRE(topology.size() == placement.num_nodes(),
+                    "topology and placement disagree on node count");
+  buckets_.resize(placement.num_files());
+  // Bucket grids are a lattice coordinate structure; other topologies
+  // answer radius queries through the replica-list scan.
+  if (bucket_threshold == 0 || lattice_ == nullptr) return;
+  for (FileId j = 0; j < placement.num_files(); ++j) {
+    const auto list = placement.replicas(j);
+    if (list.size() >= bucket_threshold) {
+      buckets_[j] = std::make_unique<BucketGrid>(
+          *lattice_, std::vector<NodeId>(list.begin(), list.end()));
+    }
+  }
+}
+
+NearestResult ReplicaIndex::nearest_by_scan(NodeId u, FileId j,
+                                            Rng& rng) const {
+  const auto list = placement_->replicas(j);
+  if (list.empty()) return NearestResult{};
+
+  const Hop sentinel = topology_->diameter() + 1;
+  if (lattice_ != nullptr) {
+    return nearest_on(*lattice_, list, u, sentinel, rng);
+  }
+  return nearest_on(*topology_, list, u, sentinel, rng);
+}
+
 NearestResult ReplicaIndex::nearest_by_shells(NodeId u, FileId j,
                                               Rng& rng) const {
   NearestResult result;
-  const Hop diameter = lattice_->diameter();
+  const Hop diameter = topology_->diameter();
   for (Hop d = 0; d <= diameter; ++d) {
     ReservoirOne reservoir(rng);
-    for_each_at_distance(*lattice_, u, d, [&](NodeId v) {
+    for_each_at_distance(*topology_, u, d, [&](NodeId v) {
       if (placement_->caches(v, j)) reservoir.offer(v);
     });
     if (reservoir.count() > 0) {
@@ -69,9 +92,12 @@ NearestResult ReplicaIndex::nearest(NodeId u, FileId j, Rng& rng) const {
   const std::size_t replicas = placement_->replica_count(j);
   if (replicas == 0) return NearestResult{};
   // List scan costs ~|S_j| distance evaluations; the shell scan visits
-  // ~n/|S_j| nodes before the first hit. Crossover at |S_j|² ≈ n.
-  const std::size_t n = lattice_->size();
-  if (replicas * replicas <= n) {
+  // ~n/|S_j| nodes before the first hit. Crossover at |S_j|² ≈ n — but
+  // only where shells enumerate directly; on scan-based topologies every
+  // shell is itself O(n), so the list scan always wins there.
+  const std::size_t n = topology_->size();
+  if (replicas * replicas <= n ||
+      !topology_->directly_enumerates_shells()) {
     return nearest_by_scan(u, j, rng);
   }
   return nearest_by_shells(u, j, rng);

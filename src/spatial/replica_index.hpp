@@ -2,7 +2,8 @@
 /// \file replica_index.hpp
 /// Spatial queries over a placement: nearest replica of a file (with exact
 /// uniform tie breaking) and radius-filtered replica streams. This is the
-/// query layer both allocation strategies are built on.
+/// query layer all allocation strategies are built on, and it works over
+/// any `Topology` (topology/topology.hpp).
 ///
 /// Two complementary algorithms answer nearest-replica queries:
 ///
@@ -15,10 +16,12 @@
 /// The first wins when replicas are sparse, the second when they are dense;
 /// `nearest()` picks automatically (`|S_j|² ≶ n` crossover). Both are exact
 /// and tests cross-validate them. Radius streams use the replica list or a
-/// per-file bucket grid (built for files with large `|S_j|`).
+/// per-file bucket grid (built for files with large `|S_j|` — lattice
+/// topologies only; the grid is a coordinate structure).
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "catalog/placement.hpp"
@@ -27,6 +30,7 @@
 #include "spatial/bucket_grid.hpp"
 #include "topology/lattice.hpp"
 #include "topology/shells.hpp"
+#include "topology/topology.hpp"
 #include "util/types.hpp"
 
 namespace proxcache {
@@ -38,16 +42,17 @@ struct NearestResult {
   std::uint32_t ties = 0;        ///< number of equidistant candidates
 };
 
-/// Spatial query index bound to one (lattice, placement) pair. Holds
-/// references; the lattice and placement must outlive the index.
+/// Spatial query index bound to one (topology, placement) pair. Holds
+/// references; the topology and placement must outlive the index.
 class ReplicaIndex {
  public:
-  /// Build the index. Files whose replica list exceeds `bucket_threshold`
-  /// get a bucket grid for radius queries (0 disables bucket grids).
-  ReplicaIndex(const Lattice& lattice, const Placement& placement,
+  /// Build the index. On lattice topologies, files whose replica list
+  /// exceeds `bucket_threshold` get a bucket grid for radius queries
+  /// (0 disables bucket grids; non-lattice topologies never build them).
+  ReplicaIndex(const Topology& topology, const Placement& placement,
                std::size_t bucket_threshold = 512);
 
-  [[nodiscard]] const Lattice& lattice() const { return *lattice_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] const Placement& placement() const { return *placement_; }
 
   /// Nearest replica of `j` to `u`, uniform among ties; automatic algorithm
@@ -65,21 +70,16 @@ class ReplicaIndex {
   /// Each replica visited exactly once, unspecified order.
   template <typename Fn>
   void for_each_replica_within(NodeId u, FileId j, Hop r, Fn&& fn) const {
-    if (r >= lattice_->diameter()) {
+    if (r >= topology_->diameter()) {
       // Unconstrained: the whole replica list qualifies.
-      for (const NodeId v : placement_->replicas(j)) {
-        fn(v, lattice_->distance(u, v));
-      }
+      scan_replicas(u, j, kUnboundedRadius, std::forward<Fn>(fn));
       return;
     }
     if (buckets_[j]) {
       buckets_[j]->for_each_within(u, r, std::forward<Fn>(fn));
       return;
     }
-    for (const NodeId v : placement_->replicas(j)) {
-      const Hop d = lattice_->distance(u, v);
-      if (d <= r) fn(v, d);
-    }
+    scan_replicas(u, j, r, std::forward<Fn>(fn));
   }
 
   /// `|F_j(u)|` — number of replicas of `j` within distance `r` of `u`.
@@ -92,7 +92,32 @@ class ReplicaIndex {
   }
 
  private:
-  const Lattice* lattice_;
+  /// One copy of the replica-list scan, instantiated for the concrete
+  /// lattice type (devirtualized distance — Lattice is final) and for the
+  /// generic Topology. `r = kUnboundedRadius` admits every replica.
+  template <typename TopologyT, typename Fn>
+  static void scan_replicas_on(const TopologyT& topology,
+                               std::span<const NodeId> list, NodeId u, Hop r,
+                               Fn&& fn) {
+    for (const NodeId v : list) {
+      const Hop d = topology.distance(u, v);
+      if (r == kUnboundedRadius || d <= r) fn(v, d);
+    }
+  }
+
+  /// Dispatch the scan to the devirtualized lattice path when possible.
+  template <typename Fn>
+  void scan_replicas(NodeId u, FileId j, Hop r, Fn&& fn) const {
+    const auto list = placement_->replicas(j);
+    if (lattice_ != nullptr) {
+      scan_replicas_on(*lattice_, list, u, r, std::forward<Fn>(fn));
+    } else {
+      scan_replicas_on(*topology_, list, u, r, std::forward<Fn>(fn));
+    }
+  }
+
+  const Topology* topology_;
+  const Lattice* lattice_;  ///< `topology_->as_lattice()`, cached
   const Placement* placement_;
   std::vector<std::unique_ptr<BucketGrid>> buckets_;
 };

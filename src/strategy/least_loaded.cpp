@@ -20,7 +20,7 @@ std::string LeastLoadedStrategy::name() const {
 
 Assignment LeastLoadedStrategy::assign(const Request& request,
                                        const LoadView& loads, Rng& rng) {
-  const auto& lattice = index_->lattice();
+  const Topology& topology = index_->topology();
   Assignment assignment;
   Hop radius = options_.radius;
 
@@ -67,7 +67,7 @@ Assignment LeastLoadedStrategy::assign(const Request& request,
         return assignment;
       }
       case FallbackPolicy::ExpandRadius: {
-        const Hop diameter = lattice.diameter();
+        const Hop diameter = topology.diameter();
         // A full-diameter probe already saw every replica, so an empty
         // result can only mean an uncached file slipped past sanitize.
         PROXCACHE_CHECK(radius < diameter,

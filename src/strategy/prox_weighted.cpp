@@ -24,7 +24,7 @@ std::string ProxWeightedStrategy::name() const {
 
 Assignment ProxWeightedStrategy::assign(const Request& request,
                                         const LoadView& loads, Rng& rng) {
-  const auto& lattice = index_->lattice();
+  const Topology& topology = index_->topology();
   const auto replicas = index_->placement().replicas(request.file);
   const std::size_t count = replicas.size();
   PROXCACHE_CHECK(count > 0,
@@ -37,7 +37,7 @@ Assignment ProxWeightedStrategy::assign(const Request& request,
   weights_.resize(count);
   double total = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
-    const Hop d = lattice.distance(request.origin, replicas[i]);
+    const Hop d = topology.distance(request.origin, replicas[i]);
     const double w =
         std::pow(1.0 + static_cast<double>(d), -options_.alpha);
     weights_[i] = w;
@@ -80,7 +80,7 @@ Assignment ProxWeightedStrategy::assign(const Request& request,
     }
   }
   assignment.server = chosen;
-  assignment.hops = lattice.distance(request.origin, chosen);
+  assignment.hops = topology.distance(request.origin, chosen);
   return assignment;
 }
 

@@ -153,8 +153,8 @@ StrategySpec StrategyRegistry::with_defaults(const StrategySpec& spec) const {
 
 std::unique_ptr<Strategy> StrategyRegistry::make(
     const StrategySpec& spec, const ReplicaIndex& index,
-    const Lattice& lattice, const ExperimentConfig& config) const {
-  return at(spec.name).factory(with_defaults(spec), index, lattice, config);
+    const Topology& topology, const ExperimentConfig& config) const {
+  return at(spec.name).factory(with_defaults(spec), index, topology, config);
 }
 
 const StrategyRegistry& StrategyRegistry::built_ins() {
@@ -163,7 +163,7 @@ const StrategyRegistry& StrategyRegistry::built_ins() {
     r.add({"nearest",
            "Strategy I: serve at the nearest replica (load-oblivious)",
            {stale_rule()},
-           [](const StrategySpec&, const ReplicaIndex& index, const Lattice&,
+           [](const StrategySpec&, const ReplicaIndex& index, const Topology&,
               const ExperimentConfig&) -> std::unique_ptr<Strategy> {
              return std::make_unique<NearestReplicaStrategy>(index);
            }});
@@ -183,7 +183,7 @@ const StrategyRegistry& StrategyRegistry::built_ins() {
              /*integral=*/true},
             stale_rule()},
            [](const StrategySpec& spec, const ReplicaIndex& index,
-              const Lattice&,
+              const Topology&,
               const ExperimentConfig&) -> std::unique_ptr<Strategy> {
              TwoChoiceOptions options;
              options.radius = radius_from_param(spec.get_or("r", kInf));
@@ -205,7 +205,7 @@ const StrategyRegistry& StrategyRegistry::built_ins() {
              /*integral=*/true},
             stale_rule()},
            [](const StrategySpec& spec, const ReplicaIndex& index,
-              const Lattice&,
+              const Topology&,
               const ExperimentConfig&) -> std::unique_ptr<Strategy> {
              LeastLoadedOptions options;
              options.radius = radius_from_param(spec.get_or("r", kInf));
@@ -222,7 +222,7 @@ const StrategyRegistry& StrategyRegistry::built_ins() {
              "distance-decay exponent (0 = uniform d-choice)"},
             stale_rule()},
            [](const StrategySpec& spec, const ReplicaIndex& index,
-              const Lattice&,
+              const Topology&,
               const ExperimentConfig&) -> std::unique_ptr<Strategy> {
              ProxWeightedOptions options;
              options.num_choices =
@@ -250,30 +250,6 @@ std::vector<StrategySpec> parse_validated_specs(
     specs.push_back(std::move(spec));
   }
   return specs;
-}
-
-StrategySpec strategy_spec_from_config(const StrategyConfig& legacy) {
-  StrategySpec spec;
-  if (legacy.kind == StrategyKind::NearestReplica) {
-    spec.name = "nearest";
-  } else {
-    spec.name = "two-choice";
-    if (legacy.num_choices != 2) {
-      spec.params["d"] = static_cast<double>(legacy.num_choices);
-    }
-    if (legacy.radius != kUnboundedRadius) {
-      spec.params["r"] = static_cast<double>(legacy.radius);
-    }
-    if (legacy.beta != 1.0) spec.params["beta"] = legacy.beta;
-    if (legacy.fallback != FallbackPolicy::ExpandRadius) {
-      spec.params["fallback"] = fallback_param(legacy.fallback);
-    }
-    if (legacy.with_replacement) spec.params["wr"] = 1.0;
-  }
-  if (legacy.stale_batch != 1) {
-    spec.params["stale"] = static_cast<double>(legacy.stale_batch);
-  }
-  return spec;
 }
 
 }  // namespace proxcache

@@ -24,7 +24,7 @@
 #include "core/strategy.hpp"
 #include "spatial/replica_index.hpp"
 #include "strategy/spec.hpp"
-#include "topology/lattice.hpp"
+#include "topology/topology.hpp"
 
 namespace proxcache {
 
@@ -43,10 +43,10 @@ struct StrategyParamRule {
 };
 
 /// Builds a ready-to-run Strategy for one request stream. The index is the
-/// per-run spatial query layer; the lattice and config carry the shared
+/// per-run spatial query layer; the topology and config carry the shared
 /// experiment state for strategies that need more context.
 using StrategyFactory = std::function<std::unique_ptr<Strategy>(
-    const StrategySpec&, const ReplicaIndex&, const Lattice&,
+    const StrategySpec&, const ReplicaIndex&, const Topology&,
     const ExperimentConfig&)>;
 
 /// One registered strategy.
@@ -111,17 +111,11 @@ class StrategyRegistry {
   /// Validate `spec` and build the strategy through the entry's factory.
   [[nodiscard]] std::unique_ptr<Strategy> make(
       const StrategySpec& spec, const ReplicaIndex& index,
-      const Lattice& lattice, const ExperimentConfig& config) const;
+      const Topology& topology, const ExperimentConfig& config) const;
 
  private:
   std::vector<StrategyEntry> entries_;
 };
-
-/// Map the legacy StrategyKind/StrategyConfig knobs onto an equivalent
-/// spec (only non-default knobs become explicit parameters). This is the
-/// compat shim that keeps pre-StrategySpec configs running bit-identically.
-[[nodiscard]] StrategySpec strategy_spec_from_config(
-    const StrategyConfig& legacy);
 
 /// FallbackPolicy <-> spec parameter code conversions (see spec.hpp for the
 /// symbolic keyword table).

@@ -1,129 +1,20 @@
 #include "strategy/spec.hpp"
 
-#include <cctype>
-#include <cmath>
-#include <cstdlib>
-#include <limits>
-#include <sstream>
-#include <stdexcept>
+#include "util/kvspec.hpp"
 
 namespace proxcache {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& message, std::string_view text) {
-  throw std::invalid_argument("bad strategy spec '" + std::string(text) +
-                              "': " + message);
-}
-
-bool is_name_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
-         c == '_' || c == '+' || c == '.';
-}
-
-std::string lower(std::string_view text) {
-  std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return out;
-}
-
 /// Symbolic keyword values, keyed by parameter name. Only `fallback` has an
 /// enumerated domain today; adding a keyword here automatically teaches both
-/// the parser and `to_string`.
-struct Keyword {
-  const char* param;
-  const char* word;
-  double code;
-};
-constexpr Keyword kKeywords[] = {
+/// the parser and `to_string` (the grammar itself lives in util/kvspec.hpp,
+/// shared with the topology specs).
+constexpr SpecKeyword kKeywords[] = {
     {"fallback", "expand", kSpecFallbackExpand},
     {"fallback", "nearest", kSpecFallbackNearest},
     {"fallback", "drop", kSpecFallbackDrop},
 };
-
-/// Minimal representation that survives a parse round trip: integers print
-/// bare, `inf` stays symbolic, and anything else gets just enough digits.
-std::string format_value(const std::string& key, double value) {
-  if (std::isinf(value) && value > 0.0) return "inf";
-  for (const Keyword& keyword : kKeywords) {
-    if (key == keyword.param && value == keyword.code) return keyword.word;
-  }
-  if (value == std::floor(value) && std::abs(value) < 1e15) {
-    std::ostringstream os;
-    os << static_cast<long long>(value);
-    return os.str();
-  }
-  std::ostringstream os;
-  os << value;
-  if (std::strtod(os.str().c_str(), nullptr) == value) return os.str();
-  std::ostringstream precise;
-  precise.precision(std::numeric_limits<double>::max_digits10);
-  precise << value;
-  return precise.str();
-}
-
-/// Cursor over the spec text; skips whitespace between every token.
-class Scanner {
- public:
-  explicit Scanner(std::string_view text) : text_(text) {}
-
-  void skip_space() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] bool done() {
-    skip_space();
-    return pos_ >= text_.size();
-  }
-
-  [[nodiscard]] char peek() {
-    skip_space();
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-
-  bool consume(char c) {
-    skip_space();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  /// Longest run of name characters (identifier or value token).
-  std::string token() {
-    skip_space();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
-    return lower(text_.substr(start, pos_ - start));
-  }
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-double parse_value(const std::string& key, const std::string& token,
-                   std::string_view text) {
-  if (token == "inf" || token == "infinity") {
-    return std::numeric_limits<double>::infinity();
-  }
-  for (const Keyword& keyword : kKeywords) {
-    if (key == keyword.param && token == keyword.word) return keyword.code;
-  }
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  if (end == begin || *end != '\0') {
-    fail("value '" + token + "' for key '" + key +
-             "' is neither a number nor a known keyword",
-         text);
-  }
-  return value;
-}
 
 }  // namespace
 
@@ -133,53 +24,14 @@ double StrategySpec::get_or(const std::string& key, double fallback) const {
 }
 
 std::string StrategySpec::to_string() const {
-  if (params.empty()) return name;
-  std::ostringstream os;
-  os << name << '(';
-  bool first = true;
-  for (const auto& [key, value] : params) {  // std::map: sorted keys
-    if (!first) os << ", ";
-    first = false;
-    os << key << '=' << format_value(key, value);
-  }
-  os << ')';
-  return os.str();
+  return kv_spec_to_string(name, params, kKeywords);
 }
 
 StrategySpec parse_strategy_spec(std::string_view text) {
-  Scanner scanner(text);
+  ParsedKvSpec parsed = parse_kv_spec(text, "strategy", kKeywords);
   StrategySpec spec;
-  spec.name = scanner.token();
-  if (spec.name.empty()) fail("expected a strategy name", text);
-  if (scanner.done()) return spec;
-  if (!scanner.consume('(')) {
-    fail(std::string("unexpected character '") + scanner.peek() +
-             "' after the strategy name (expected '(')",
-         text);
-  }
-  if (!scanner.consume(')')) {
-    while (true) {
-      const std::string key = scanner.token();
-      if (key.empty()) fail("expected a parameter key", text);
-      if (!scanner.consume('=')) {
-        fail("parameter '" + key + "' is missing '=value'", text);
-      }
-      const std::string token = scanner.token();
-      if (token.empty()) {
-        fail("parameter '" + key + "' is missing a value", text);
-      }
-      if (spec.has(key)) fail("duplicate parameter '" + key + "'", text);
-      spec.params[key] = parse_value(key, token, text);
-      if (scanner.consume(',')) continue;
-      if (scanner.consume(')')) break;
-      fail("expected ',' or ')' after parameter '" + key + "'", text);
-    }
-  }
-  if (!scanner.done()) {
-    fail(std::string("trailing characters after ')': '") + scanner.peek() +
-             "...'",
-         text);
-  }
+  spec.name = std::move(parsed.name);
+  spec.params = std::move(parsed.params);
   return spec;
 }
 

@@ -1,0 +1,204 @@
+#include "topology/graph_topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "random/rng.hpp"
+#include "topology/spec.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+
+}  // namespace
+
+GraphTopology::GraphTopology(CompactGraph graph, std::string description)
+    : graph_(std::move(graph)), description_(std::move(description)) {
+  const std::uint32_t n = graph_.num_vertices();
+  PROXCACHE_REQUIRE(n >= 1, "graph topology needs >= 1 vertex");
+  dist_.assign(static_cast<std::size_t>(n) * n, kUnreached);
+
+  // All-pairs BFS; a frontier queue per source over the CSR adjacency.
+  std::vector<std::uint32_t> frontier;
+  frontier.reserve(n);
+  for (std::uint32_t source = 0; source < n; ++source) {
+    std::uint16_t* row = dist_.data() + static_cast<std::size_t>(source) * n;
+    frontier.clear();
+    frontier.push_back(source);
+    row[source] = 0;
+    std::uint16_t depth = 0;
+    std::size_t begin = 0;
+    while (begin < frontier.size()) {
+      const std::size_t level_end = frontier.size();
+      PROXCACHE_CHECK(depth < kUnreached - 1, "graph diameter overflow");
+      ++depth;
+      for (std::size_t i = begin; i < level_end; ++i) {
+        for (const std::uint32_t v : graph_.neighbors(frontier[i])) {
+          if (row[v] == kUnreached) {
+            row[v] = depth;
+            frontier.push_back(v);
+          }
+        }
+      }
+      begin = level_end;
+    }
+    if (frontier.size() != n) {
+      throw std::invalid_argument(
+          "graph topology requires a connected graph (vertex " +
+          std::to_string(source) + " reaches only " +
+          std::to_string(frontier.size()) + " of " + std::to_string(n) +
+          " vertices)");
+    }
+    const std::uint16_t eccentricity = depth > 0 ? depth - 1 : 0;
+    diameter_ = std::max<Hop>(diameter_, eccentricity);
+  }
+}
+
+Hop GraphTopology::distance(NodeId u, NodeId v) const {
+  const std::size_t n = size();
+  PROXCACHE_REQUIRE(u < n && v < n, "node id out of range");
+  return dist_[static_cast<std::size_t>(u) * n + v];
+}
+
+void GraphTopology::visit_shell(NodeId u, Hop d, NodeVisitor fn) const {
+  const std::size_t n = size();
+  PROXCACHE_REQUIRE(u < n, "node id out of range");
+  if (d > diameter_) return;
+  const std::uint16_t* row = dist_.data() + static_cast<std::size_t>(u) * n;
+  const auto target = static_cast<std::uint16_t>(d);
+  for (NodeId v = 0; v < n; ++v) {
+    if (row[v] == target) fn(v);
+  }
+}
+
+std::size_t GraphTopology::shell_size(NodeId u, Hop d) const {
+  const std::size_t n = size();
+  PROXCACHE_REQUIRE(u < n, "node id out of range");
+  if (d > diameter_) return 0;
+  const std::uint16_t* row = dist_.data() + static_cast<std::size_t>(u) * n;
+  const auto target = static_cast<std::uint16_t>(d);
+  std::size_t count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (row[v] == target) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> GraphTopology::neighbors(NodeId u) const {
+  PROXCACHE_REQUIRE(u < size(), "node id out of range");
+  const auto adjacency = graph_.neighbors(static_cast<std::uint32_t>(u));
+  return {adjacency.begin(), adjacency.end()};
+}
+
+std::string GraphTopology::describe() const { return description_; }
+
+std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
+                                                       double radius,
+                                                       std::uint64_t seed) {
+  PROXCACHE_REQUIRE(n >= 1, "rgg needs >= 1 node");
+  PROXCACHE_REQUIRE(radius > 0.0, "rgg radius must be > 0");
+
+  // Points uniform in the unit square; the draw order (x then y per point)
+  // is part of the determinism contract.
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform();
+    ys[i] = rng.uniform();
+  }
+
+  const double radius_sq = radius * radius;
+  const auto dist_sq = [&](std::size_t a, std::size_t b) {
+    const double dx = xs[a] - xs[b];
+    const double dy = ys[a] - ys[b];
+    return dx * dx + dy * dy;
+  };
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist_sq(i, j) <= radius_sq) {
+        edges.emplace_back(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+
+  // Connectivity repair: label components (iterative DFS over an
+  // adjacency list), then stitch every minor component to the giant one
+  // through its closest pair of points. Deterministic: components are
+  // labeled in order of their smallest node id, and ties in the closest
+  // pair keep the first pair found in the fixed DFS-discovery iteration
+  // order.
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (const auto& [a, b] : edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::vector<std::uint32_t> component(n, std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::vector<std::uint32_t>> members;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component[start] != std::numeric_limits<std::uint32_t>::max()) continue;
+    const auto label = static_cast<std::uint32_t>(members.size());
+    members.emplace_back();
+    std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(start)};
+    component[start] = label;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      members[label].push_back(u);
+      for (const std::uint32_t v : adjacency[u]) {
+        if (component[v] == std::numeric_limits<std::uint32_t>::max()) {
+          component[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (members.size() > 1) {
+    std::uint32_t giant = 0;
+    for (std::uint32_t c = 1; c < members.size(); ++c) {
+      if (members[c].size() > members[giant].size()) giant = c;
+    }
+    for (std::uint32_t c = 0; c < members.size(); ++c) {
+      if (c == giant) continue;
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_u = 0;
+      std::uint32_t best_v = 0;
+      for (const std::uint32_t u : members[c]) {
+        for (const std::uint32_t v : members[giant]) {
+          const double d = dist_sq(u, v);
+          if (d < best) {
+            best = d;
+            best_u = u;
+            best_v = v;
+          }
+        }
+      }
+      edges.emplace_back(std::min(best_u, best_v), std::max(best_u, best_v));
+    }
+  }
+
+  // The description is the exact spec string that rebuilds this topology:
+  // format through TopologySpec::to_string so the radius survives a parse
+  // round trip at full precision (plain ostream formatting would truncate).
+  TopologySpec spec;
+  spec.name = "rgg";
+  spec.params["n"] = static_cast<double>(n);
+  spec.params["radius"] = radius;
+  spec.params["seed"] = static_cast<double>(seed);
+  return std::make_shared<GraphTopology>(
+      CompactGraph::from_edges(static_cast<std::uint32_t>(n),
+                               std::move(edges)),
+      spec.to_string());
+}
+
+}  // namespace proxcache

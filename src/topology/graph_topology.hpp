@@ -1,0 +1,66 @@
+#pragma once
+/// \file graph_topology.hpp
+/// Topology over an arbitrary connected undirected graph
+/// (`graph/compact_graph.hpp` CSR representation) with exact BFS hop
+/// distances, precomputed into a dense `n × n` uint16 matrix at
+/// construction — queries are then O(1) lookups and shells are O(n) row
+/// scans. This is the backing for irregular networks; the built-in random
+/// geometric graph (`make_rgg_topology`) models servers scattered in the
+/// unit square with radio-range links, the classic non-lattice testbed for
+/// proximity-aware allocation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/compact_graph.hpp"
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Exact-distance topology over a connected CompactGraph.
+class GraphTopology final : public Topology {
+ public:
+  /// Takes ownership of `graph`; throws std::invalid_argument when the
+  /// graph is empty or not connected (every topology query assumes finite
+  /// distances). `description` becomes `describe()`, canonically the spec
+  /// string that built the graph. O(V·(V+E)) construction (all-pairs BFS),
+  /// O(V²) memory in uint16.
+  GraphTopology(CompactGraph graph, std::string description);
+
+  [[nodiscard]] std::size_t size() const override {
+    return static_cast<std::size_t>(graph_.num_vertices());
+  }
+  [[nodiscard]] Hop distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] Hop diameter() const override { return diameter_; }
+
+  /// Row scan in node-id order (deterministic).
+  void visit_shell(NodeId u, Hop d, NodeVisitor fn) const override;
+
+  [[nodiscard]] std::size_t shell_size(NodeId u, Hop d) const override;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId u) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// The underlying graph (degree stats, edge counts for diagnostics).
+  [[nodiscard]] const CompactGraph& graph() const { return graph_; }
+
+ private:
+  CompactGraph graph_;
+  std::string description_;
+  Hop diameter_ = 0;
+  std::vector<std::uint16_t> dist_;  ///< row-major n × n hop distances
+};
+
+/// Deterministic random geometric graph topology: `n` points uniform in the
+/// unit square (all randomness from `seed`), an edge between every pair at
+/// Euclidean distance <= `radius`. When the raw graph is disconnected, each
+/// minor component is stitched to the giant component through the
+/// closest-pair link (deterministic repair; compare `graph().num_edges()`
+/// against the raw radius graph to detect it) so distances stay finite.
+std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
+                                                       double radius,
+                                                       std::uint64_t seed);
+
+}  // namespace proxcache

@@ -1,17 +1,38 @@
 #include "topology/lattice.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 
+#include "topology/shells.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
 
 Wrap wrap_from_string(const std::string& name) {
-  if (name == "torus") return Wrap::Torus;
-  if (name == "grid") return Wrap::Grid;
-  throw std::invalid_argument("unknown topology '" + name +
+  // Tolerant parse, matching the spec grammar: trim surrounding whitespace
+  // and compare case-insensitively, so "Torus", " GRID " and "torus" all
+  // resolve. The error message echoes the *trimmed* token, which pinpoints
+  // typos without whitespace noise.
+  std::size_t begin = 0;
+  std::size_t end = name.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(name[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(name[end - 1])) != 0) {
+    --end;
+  }
+  std::string token = name.substr(begin, end - begin);
+  for (char& c : token) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (token == "torus") return Wrap::Torus;
+  if (token == "grid") return Wrap::Grid;
+  throw std::invalid_argument("unknown wrap mode '" + token +
                               "' (expected 'torus' or 'grid')");
 }
 
@@ -158,6 +179,30 @@ std::vector<NodeId> Lattice::neighbors(NodeId u) const {
     }
   }
   return out;
+}
+
+void Lattice::visit_shell(NodeId u, Hop d, NodeVisitor fn) const {
+  // Single source of truth for the enumeration order: the inlined template
+  // in shells.hpp (which generic Topology callers reach through this
+  // virtual, and lattice-typed hot paths call directly).
+  for_each_at_distance(*this, u, d, [&](NodeId v) { fn(v); });
+}
+
+NodeId Lattice::central_node() const {
+  return node(Point{side_ / 2, side_ / 2});
+}
+
+std::string Lattice::describe() const {
+  std::ostringstream os;
+  os << to_string(wrap_) << "(side=" << side_ << ")";
+  return os.str();
+}
+
+std::string Lattice::node_label(NodeId u) const {
+  const Point p = coord(u);
+  std::ostringstream os;
+  os << '(' << p.x << ", " << p.y << ')';
+  return os.str();
 }
 
 double Lattice::mean_distance_to_random_node(NodeId u) const {

@@ -1,0 +1,259 @@
+#include "topology/registry.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/graph_topology.hpp"
+#include "topology/ring.hpp"
+#include "topology/tree.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+/// Hard ceiling on materialized node counts: keeps accidental
+/// `ring(n=1e18)` specs from being accepted by validation and protects the
+/// dense-matrix graph topologies (n² uint16 distances) behind their own
+/// tighter per-entry ranges.
+constexpr std::size_t kMaxNodes = std::size_t{1} << 22;
+
+std::string format_range(double lo, double hi) {
+  std::ostringstream os;
+  os << '[' << lo << ", ";
+  if (std::isinf(hi)) {
+    os << "inf";
+  } else {
+    os << hi;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+void TopologyRegistry::add(TopologyEntry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("topology entry needs a non-empty name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("topology '" + entry.name +
+                                "' registered without a factory");
+  }
+  if (!entry.node_count) {
+    throw std::invalid_argument("topology '" + entry.name +
+                                "' registered without a node_count");
+  }
+  if (find(entry.name) != nullptr) {
+    throw std::invalid_argument("topology '" + entry.name +
+                                "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const TopologyEntry* TopologyRegistry::find(const std::string& name) const {
+  for (const TopologyEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const TopologyEntry& TopologyRegistry::at(const std::string& name) const {
+  const TopologyEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown topology '" + name +
+                                "' (known: " + names() + ")");
+  }
+  return *entry;
+}
+
+std::string TopologyRegistry::names() const {
+  std::string joined;
+  for (const TopologyEntry& entry : entries_) {
+    if (!joined.empty()) joined += ", ";
+    joined += entry.name;
+  }
+  return joined;
+}
+
+void TopologyRegistry::validate(const TopologySpec& spec) const {
+  const TopologyEntry& entry = at(spec.name);
+  for (const auto& [key, value] : spec.params) {
+    const TopologyParamRule* rule = nullptr;
+    for (const TopologyParamRule& candidate : entry.params) {
+      if (candidate.key == key) {
+        rule = &candidate;
+        break;
+      }
+    }
+    if (rule == nullptr) {
+      std::string known;
+      for (const TopologyParamRule& candidate : entry.params) {
+        if (!known.empty()) known += ", ";
+        known += candidate.key;
+      }
+      throw std::invalid_argument(
+          "topology '" + spec.name + "' does not take parameter '" + key +
+          "' (known: " + (known.empty() ? "<none>" : known) + ")");
+    }
+    if (std::isnan(value) || value < rule->min_value ||
+        value > rule->max_value) {
+      std::ostringstream os;
+      os << "topology '" << spec.name << "' parameter '" << key << "' = "
+         << value << " is outside "
+         << format_range(rule->min_value, rule->max_value);
+      throw std::invalid_argument(os.str());
+    }
+    if (rule->integral && !std::isinf(value) &&
+        value != std::floor(value)) {
+      std::ostringstream os;
+      os << "topology '" << spec.name << "' parameter '" << key << "' = "
+         << value << " must be an integer";
+      throw std::invalid_argument(os.str());
+    }
+  }
+  // Cross-parameter check: the id space must hold the implied node count
+  // (e.g. tree(branching=64, depth=20) passes per-key ranges but not this).
+  TopologySpec filled = spec;
+  for (const TopologyParamRule& rule : entry.params) {
+    if (!filled.has(rule.key)) filled.params[rule.key] = rule.default_value;
+  }
+  const std::size_t nodes = entry.node_count(filled);
+  if (nodes == 0 || nodes > kMaxNodes) {
+    std::ostringstream os;
+    os << "topology '" << spec.name << "' implies " << nodes
+       << " nodes, outside [1, " << kMaxNodes << "]";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+TopologySpec TopologyRegistry::with_defaults(const TopologySpec& spec) const {
+  validate(spec);
+  TopologySpec filled = spec;
+  for (const TopologyParamRule& rule : at(spec.name).params) {
+    if (!filled.has(rule.key)) filled.params[rule.key] = rule.default_value;
+  }
+  return filled;
+}
+
+std::size_t TopologyRegistry::node_count(const TopologySpec& spec) const {
+  const TopologySpec filled = with_defaults(spec);
+  return at(spec.name).node_count(filled);
+}
+
+std::shared_ptr<const Topology> TopologyRegistry::make(
+    const TopologySpec& spec) const {
+  return at(spec.name).factory(with_defaults(spec));
+}
+
+const TopologyRegistry& TopologyRegistry::built_ins() {
+  static const TopologyRegistry registry = [] {
+    // sqrt(kMaxNodes): keeps the declared per-key range satisfiable — any
+    // in-range side also passes the node-count cross-check.
+    const double side_max = 2048.0;
+    TopologyRegistry r;
+    const auto lattice_nodes = [](const TopologySpec& spec) {
+      const auto side = static_cast<std::size_t>(spec.get_or("side", 45.0));
+      return side * side;
+    };
+    r.add({"torus",
+           "side x side lattice, wraparound edges (the paper's model)",
+           {{"side", 1.0, side_max, 45.0, "lattice side length",
+             /*integral=*/true}},
+           lattice_nodes,
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return std::make_shared<Lattice>(
+                 static_cast<std::int32_t>(spec.get_or("side", 45.0)),
+                 Wrap::Torus);
+           }});
+    r.add({"grid",
+           "side x side bounded lattice with true boundaries",
+           {{"side", 1.0, side_max, 45.0, "lattice side length",
+             /*integral=*/true}},
+           lattice_nodes,
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return std::make_shared<Lattice>(
+                 static_cast<std::int32_t>(spec.get_or("side", 45.0)),
+                 Wrap::Grid);
+           }});
+    r.add({"ring",
+           "cycle of n servers (1-D torus; high diameter, tight "
+           "neighborhoods)",
+           {{"n", 1.0, static_cast<double>(kMaxNodes), 4096.0,
+             "number of servers", /*integral=*/true}},
+           [](const TopologySpec& spec) {
+             return static_cast<std::size_t>(spec.get_or("n", 4096.0));
+           },
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return std::make_shared<RingTopology>(
+                 static_cast<std::size_t>(spec.get_or("n", 4096.0)));
+           }});
+    r.add({"tree",
+           "complete b-ary tree (hierarchical cache tiers)",
+           {{"branching", 1.0, 64.0, 4.0, "children per inner node",
+             /*integral=*/true},
+            {"depth", 0.0, 24.0, 6.0, "levels below the root",
+             /*integral=*/true}},
+           [](const TopologySpec& spec) {
+             return TreeTopology::node_count(
+                 static_cast<std::uint32_t>(spec.get_or("branching", 4.0)),
+                 static_cast<std::uint32_t>(spec.get_or("depth", 6.0)));
+           },
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return std::make_shared<TreeTopology>(
+                 static_cast<std::uint32_t>(spec.get_or("branching", 4.0)),
+                 static_cast<std::uint32_t>(spec.get_or("depth", 6.0)));
+           }});
+    r.add({"rgg",
+           "random geometric graph in the unit square (BFS hop distances, "
+           "deterministic in seed)",
+           {{"n", 2.0, 8192.0, 4096.0,
+             "number of servers (n^2 distance table)", /*integral=*/true},
+            {"radius", 1e-9, 1.5, 0.03, "Euclidean connection radius"},
+            {"seed", 0.0, 9007199254740992.0, 1.0,
+             "point-process seed", /*integral=*/true}},
+           [](const TopologySpec& spec) {
+             return static_cast<std::size_t>(spec.get_or("n", 4096.0));
+           },
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return make_rgg_topology(
+                 static_cast<std::size_t>(spec.get_or("n", 4096.0)),
+                 spec.get_or("radius", 0.03),
+                 static_cast<std::uint64_t>(spec.get_or("seed", 1.0)));
+           }});
+    return r;
+  }();
+  return registry;
+}
+
+TopologyRegistry& TopologyRegistry::global() {
+  static TopologyRegistry registry = with_built_ins();
+  return registry;
+}
+
+TopologySpec topology_spec_from_lattice(std::size_t num_nodes, Wrap wrap) {
+  PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
+                    "num_nodes must be a perfect square, got " +
+                        std::to_string(num_nodes));
+  const std::int32_t side =
+      Lattice::from_node_count(num_nodes, wrap).side();
+  TopologySpec spec;
+  spec.name = to_string(wrap);
+  spec.params["side"] = static_cast<double>(side);
+  return spec;
+}
+
+std::vector<TopologySpec> parse_validated_topology_specs(
+    const std::vector<std::string>& texts, const TopologyRegistry& registry) {
+  std::vector<TopologySpec> specs;
+  specs.reserve(texts.size());
+  for (const std::string& text : texts) {
+    TopologySpec spec = parse_topology_spec(text);
+    registry.validate(spec);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace proxcache

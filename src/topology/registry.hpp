@@ -1,0 +1,138 @@
+#pragma once
+/// \file registry.hpp
+/// Open topology catalog: binds spec names to factories and per-parameter
+/// validation rules, mirroring strategy/registry.hpp on the network side.
+/// The simulator asks the registry — never `Lattice` directly — to build
+/// the `Topology` for a run, so adding a network shape is: implement
+/// `Topology`, append one `TopologyEntry`, done. Every CLI
+/// (`--topology <spec>`), bench and golden-master harness picks it up
+/// automatically.
+///
+/// Built-ins: `torus(side)` and `grid(side)` (the paper's lattice, exact
+/// legacy behavior), `ring(n)`, `tree(branching, depth)` and
+/// `rgg(n, radius, seed)` (graph-backed via src/graph/compact_graph with
+/// BFS distances).
+///
+/// Entries also declare a cheap `node_count(spec)` so configs can resolve
+/// `n` (request horizons, placement sizing) without materializing the
+/// topology — materialization can be expensive (all-pairs BFS for graph
+/// topologies) and happens once per SimulationContext.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/lattice.hpp"
+#include "topology/spec.hpp"
+#include "topology/topology.hpp"
+
+namespace proxcache {
+
+/// One legal parameter of a topology: inclusive range plus the value used
+/// when the spec leaves the key unset. (Same shape as StrategyParamRule —
+/// kept separate so the topology layer stays decoupled from the strategy
+/// module.)
+struct TopologyParamRule {
+  std::string key;
+  double min_value;
+  double max_value;  ///< inclusive; use infinity for unbounded keys
+  double default_value;
+  std::string doc;  ///< one-liner for --help / README tables
+  /// Whole numbers only; counts and sides set this so e.g. `side=2.7` is
+  /// rejected instead of silently truncating.
+  bool integral = false;
+};
+
+/// Builds a ready-to-query Topology from a defaults-filled spec. Returned
+/// as shared_ptr so contexts can share one materialized topology across a
+/// scenario × strategy matrix (graph topologies carry O(n²) distance
+/// tables).
+using TopologyFactory =
+    std::function<std::shared_ptr<const Topology>(const TopologySpec&)>;
+
+/// One registered topology.
+struct TopologyEntry {
+  std::string name;     ///< registry key, canonical lowercase
+  std::string summary;  ///< one-line description for --list output
+  std::vector<TopologyParamRule> params;
+  /// Node count implied by a defaults-filled spec (cheap, no
+  /// materialization). Must agree with `factory(spec)->size()`.
+  std::function<std::size_t(const TopologySpec&)> node_count;
+  TopologyFactory factory;
+};
+
+/// Catalog of topology entries. `built_ins()` is the immutable default set;
+/// custom registries start from `with_built_ins()` and `add` their own.
+class TopologyRegistry {
+ public:
+  /// An empty registry (for fully custom catalogs).
+  TopologyRegistry() = default;
+
+  /// The shared immutable catalog of built-in topologies.
+  static const TopologyRegistry& built_ins();
+
+  /// A mutable copy of the built-in catalog to extend with `add`.
+  static TopologyRegistry with_built_ins() { return built_ins(); }
+
+  /// The process-wide catalog the simulator consults (`validate`,
+  /// `SimulationContext`). Starts as a copy of `built_ins()`;
+  /// `global().add(...)` makes a custom topology runnable everywhere specs
+  /// are accepted. Register at startup, before experiments run.
+  static TopologyRegistry& global();
+
+  /// Register an entry; throws std::invalid_argument on a duplicate name
+  /// or an entry without a factory or node_count.
+  void add(TopologyEntry entry);
+
+  /// All entries in registration order.
+  [[nodiscard]] const std::vector<TopologyEntry>& all() const {
+    return entries_;
+  }
+
+  /// Entry by name, or nullptr when absent.
+  [[nodiscard]] const TopologyEntry* find(const std::string& name) const;
+
+  /// Entry by name; throws std::invalid_argument listing the known names
+  /// when absent.
+  [[nodiscard]] const TopologyEntry& at(const std::string& name) const;
+
+  /// Comma-separated names (for error messages and --help).
+  [[nodiscard]] std::string names() const;
+
+  /// Check `spec` against the named entry's parameter rules. Throws
+  /// std::invalid_argument on an unknown topology name, an unknown
+  /// parameter key, an out-of-range value, or a node count the id space
+  /// cannot hold.
+  void validate(const TopologySpec& spec) const;
+
+  /// `spec`, validated, with every unset parameter filled in from the
+  /// entry's declared defaults.
+  [[nodiscard]] TopologySpec with_defaults(const TopologySpec& spec) const;
+
+  /// Node count implied by `spec` after validation + defaults (no
+  /// materialization).
+  [[nodiscard]] std::size_t node_count(const TopologySpec& spec) const;
+
+  /// Validate `spec` and build the topology through the entry's factory.
+  [[nodiscard]] std::shared_ptr<const Topology> make(
+      const TopologySpec& spec) const;
+
+ private:
+  std::vector<TopologyEntry> entries_;
+};
+
+/// Map the legacy lattice knobs (`num_nodes` perfect square + `Wrap`) onto
+/// the equivalent registry spec — `torus(side=√n)` / `grid(side=√n)`. This
+/// is the shim that keeps pre-TopologySpec configs running bit-identically.
+[[nodiscard]] TopologySpec topology_spec_from_lattice(std::size_t num_nodes,
+                                                      Wrap wrap);
+
+/// Parse and validate a batch of spec strings (e.g. repeated `--topology`
+/// flags) against `registry`, all up front. Throws std::invalid_argument
+/// on the first bad spec.
+[[nodiscard]] std::vector<TopologySpec> parse_validated_topology_specs(
+    const std::vector<std::string>& texts,
+    const TopologyRegistry& registry = TopologyRegistry::global());
+
+}  // namespace proxcache

@@ -1,0 +1,59 @@
+#include "topology/ring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+RingTopology::RingTopology(std::size_t n) : n_(n) {
+  PROXCACHE_REQUIRE(n >= 1, "ring needs >= 1 node");
+  PROXCACHE_REQUIRE(n <= static_cast<std::size_t>(kInvalidNode),
+                    "ring node count overflows NodeId");
+}
+
+Hop RingTopology::distance(NodeId u, NodeId v) const {
+  PROXCACHE_REQUIRE(u < n_ && v < n_, "node id out of range");
+  const std::size_t direct = u > v ? u - v : v - u;
+  return static_cast<Hop>(std::min(direct, n_ - direct));
+}
+
+void RingTopology::visit_shell(NodeId u, Hop d, NodeVisitor fn) const {
+  PROXCACHE_REQUIRE(u < n_, "node id out of range");
+  if (d == 0) {
+    fn(u);
+    return;
+  }
+  const std::size_t dist = d;
+  if (dist > n_ / 2) return;  // empty shell
+  const auto forward =
+      static_cast<NodeId>((static_cast<std::size_t>(u) + dist) % n_);
+  fn(forward);
+  // The antipode on an even ring coincides with the forward node.
+  if (2 * dist != n_) {
+    const auto backward = static_cast<NodeId>(
+        (static_cast<std::size_t>(u) + n_ - dist) % n_);
+    fn(backward);
+  }
+}
+
+std::size_t RingTopology::shell_size(NodeId /*u*/, Hop d) const {
+  if (d == 0) return 1;
+  const std::size_t dist = d;
+  if (dist > n_ / 2) return 0;
+  return 2 * dist == n_ ? 1 : 2;
+}
+
+std::size_t RingTopology::ball_size(NodeId /*u*/, Hop r) const {
+  const std::size_t dist = std::min<std::size_t>(r, n_ / 2);
+  return std::min<std::size_t>(n_, 1 + 2 * dist);
+}
+
+std::string RingTopology::describe() const {
+  std::ostringstream os;
+  os << "ring(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace proxcache

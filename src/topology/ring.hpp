@@ -1,0 +1,44 @@
+#pragma once
+/// \file ring.hpp
+/// A cycle of `n` servers — the 1-D analogue of the torus, and the
+/// canonical "high diameter, tight neighborhoods" stress for proximity
+/// policies (Panigrahy et al. study the same trade-off on rings). All
+/// queries are closed-form; shells are the pair `{u+d, u-d}` (mod n).
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Cycle C_n with ring hop distance.
+class RingTopology final : public Topology {
+ public:
+  /// `n >= 1` nodes; node `i` neighbors `i±1 (mod n)`.
+  explicit RingTopology(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] Hop distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] Hop diameter() const override {
+    return static_cast<Hop>(n_ / 2);
+  }
+
+  /// Shell order: `u+d (mod n)` first, then `u-d (mod n)` when distinct —
+  /// mirroring the torus axis-offset order `{+a, -a}`.
+  void visit_shell(NodeId u, Hop d, NodeVisitor fn) const override;
+
+  [[nodiscard]] bool directly_enumerates_shells() const override {
+    return true;
+  }
+
+  [[nodiscard]] std::size_t shell_size(NodeId u, Hop d) const override;
+  [[nodiscard]] std::size_t ball_size(NodeId u, Hop r) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace proxcache

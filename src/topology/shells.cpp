@@ -16,4 +16,17 @@ std::vector<NodeId> collect_ball(const Lattice& lattice, NodeId u, Hop r) {
   return out;
 }
 
+std::vector<NodeId> collect_shell(const Topology& topology, NodeId u, Hop d) {
+  std::vector<NodeId> out;
+  for_each_at_distance(topology, u, d, [&](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<NodeId> collect_ball(const Topology& topology, NodeId u, Hop r) {
+  std::vector<NodeId> out;
+  out.reserve(topology.ball_size(u, r));
+  for_each_in_ball(topology, u, r, [&](NodeId v, Hop) { out.push_back(v); });
+  return out;
+}
+
 }  // namespace proxcache

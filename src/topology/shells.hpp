@@ -80,6 +80,20 @@ void for_each_at_distance(const Lattice& lattice, NodeId u, Hop d, Fn&& fn) {
   }
 }
 
+/// Generic-topology shell enumeration. Dispatches to the inlined lattice
+/// template above when the topology is a lattice (keeping the paper's hot
+/// path devirtualized), and to the virtual `visit_shell` otherwise. Both
+/// routes enumerate in the topology's canonical deterministic order.
+template <typename Fn>
+void for_each_at_distance(const Topology& topology, NodeId u, Hop d,
+                          Fn&& fn) {
+  if (const Lattice* lattice = topology.as_lattice()) {
+    for_each_at_distance(*lattice, u, d, std::forward<Fn>(fn));
+    return;
+  }
+  topology.visit_shell(u, d, fn);
+}
+
 /// Invoke `fn(NodeId, Hop)` for every node within distance `r` of `u`
 /// (including `u` itself at distance 0), in order of increasing distance.
 template <typename Fn>
@@ -91,10 +105,25 @@ void for_each_in_ball(const Lattice& lattice, NodeId u, Hop r, Fn&& fn) {
   }
 }
 
+/// Generic-topology ball enumeration, increasing distance.
+template <typename Fn>
+void for_each_in_ball(const Topology& topology, NodeId u, Hop r, Fn&& fn) {
+  if (const Lattice* lattice = topology.as_lattice()) {
+    for_each_in_ball(*lattice, u, r, std::forward<Fn>(fn));
+    return;
+  }
+  const Hop cap = std::min<Hop>(r, topology.diameter());
+  for (Hop d = 0; d <= cap; ++d) {
+    topology.visit_shell(u, d, [&](NodeId v) { fn(v, d); });
+  }
+}
+
 /// Materialize the shell at distance `d` (test / debugging convenience).
 std::vector<NodeId> collect_shell(const Lattice& lattice, NodeId u, Hop d);
+std::vector<NodeId> collect_shell(const Topology& topology, NodeId u, Hop d);
 
 /// Materialize the ball `B_r(u)` in increasing-distance order.
 std::vector<NodeId> collect_ball(const Lattice& lattice, NodeId u, Hop r);
+std::vector<NodeId> collect_ball(const Topology& topology, NodeId u, Hop r);
 
 }  // namespace proxcache

@@ -1,0 +1,33 @@
+#include "topology/spec.hpp"
+
+#include "util/kvspec.hpp"
+
+namespace proxcache {
+
+namespace {
+
+/// No topology parameter has a symbolic keyword domain today; the empty
+/// table still routes through the shared grammar so `inf` handling and
+/// error messages match the strategy specs.
+constexpr std::span<const SpecKeyword> kNoKeywords{};
+
+}  // namespace
+
+double TopologySpec::get_or(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::string TopologySpec::to_string() const {
+  return kv_spec_to_string(name, params, kNoKeywords);
+}
+
+TopologySpec parse_topology_spec(std::string_view text) {
+  ParsedKvSpec parsed = parse_kv_spec(text, "topology", kNoKeywords);
+  TopologySpec spec;
+  spec.name = std::move(parsed.name);
+  spec.params = std::move(parsed.params);
+  return spec;
+}
+
+}  // namespace proxcache

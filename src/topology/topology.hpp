@@ -1,0 +1,103 @@
+#pragma once
+/// \file topology.hpp
+/// The cache network's topology seam: an abstract graph of `n` servers with
+/// a hop metric and `B_r(u)` neighborhood enumeration — everything the
+/// spatial query layer, the strategies and the workload generators need to
+/// know about "where the servers are".
+///
+/// The paper states its results on a torus lattice (`Lattice`,
+/// topology/lattice.hpp), but the load/proximity trade-off is a graph
+/// phenomenon: Panigrahy et al. study the same policies on rings, trees and
+/// random geometric graphs, and hierarchical cache tiers are trees. This
+/// interface is what lets the simulator sweep that axis: `Lattice`
+/// implements it bit-identically to its pre-interface behavior, and
+/// `RingTopology` / `TreeTopology` / `GraphTopology` open the non-lattice
+/// networks (see topology/registry.hpp for the spec-string catalog).
+///
+/// Contract for implementations:
+///  * node ids are dense, `[0, size())`;
+///  * `distance` is a metric in hops; `diameter()` is its maximum;
+///  * `visit_shell(u, d, fn)` enumerates every node at distance exactly `d`
+///    from `u`, each exactly once, in a *deterministic* order — the
+///    reservoir-sampling query layer consumes RNG draws per visited node,
+///    so enumeration order is part of the reproducibility contract;
+///  * `central_node()` is the deterministic "center" used by hotspot/flash
+///    workloads to anchor demand discs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/function_ref.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+class Lattice;
+
+/// Visitor for shell/ball enumeration.
+using NodeVisitor = FunctionRef<void(NodeId)>;
+
+/// Abstract network topology: node count, hop metric, and neighborhood
+/// enumeration. Implementations must be immutable after construction and
+/// safe to query from multiple threads concurrently.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of servers `n`.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Hop (shortest-path) distance between two nodes.
+  [[nodiscard]] virtual Hop distance(NodeId u, NodeId v) const = 0;
+
+  /// Largest hop distance between any two nodes.
+  [[nodiscard]] virtual Hop diameter() const = 0;
+
+  /// Invoke `fn(v)` for every node at distance exactly `d` from `u`, each
+  /// exactly once, in the implementation's deterministic order. The default
+  /// scans all nodes in id order (O(n) per shell); structured topologies
+  /// override with direct enumeration.
+  virtual void visit_shell(NodeId u, Hop d, NodeVisitor fn) const;
+
+  /// True when `visit_shell` enumerates a shell in ~O(|shell|) without
+  /// scanning all nodes. The expanding-shell nearest-replica search is only
+  /// profitable on such topologies; on scan-based ones it would degenerate
+  /// to O(n · diameter) per query. Default: false (the base scan).
+  [[nodiscard]] virtual bool directly_enumerates_shells() const {
+    return false;
+  }
+
+  /// Exact number of nodes at distance exactly `d` from `u`.
+  [[nodiscard]] virtual std::size_t shell_size(NodeId u, Hop d) const;
+
+  /// Exact `|B_r(u)|` — nodes within distance `r` of `u`, including `u`.
+  [[nodiscard]] virtual std::size_t ball_size(NodeId u, Hop r) const;
+
+  /// Direct neighbors of `u` (distance exactly 1).
+  [[nodiscard]] virtual std::vector<NodeId> neighbors(NodeId u) const;
+
+  /// Average hop distance from `u` to a uniformly random node (including
+  /// `u` itself at distance 0) — the "no proximity constraint" reference
+  /// communication cost.
+  [[nodiscard]] virtual double mean_distance_to_random_node(NodeId u) const;
+
+  /// Deterministic anchor node for spatially concentrated workloads
+  /// (hotspot/flash discs). Defaults to `size() / 2`.
+  [[nodiscard]] virtual NodeId central_node() const;
+
+  /// Canonical one-line description, e.g. `torus(side=45)` — matches the
+  /// registry spec string that would rebuild this topology.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Human-readable coordinate/debug label of a node (e.g. `(x, y)` on a
+  /// lattice, `depth:index` on a tree). Defaults to the bare id.
+  [[nodiscard]] virtual std::string node_label(NodeId u) const;
+
+  /// Fast-path hook: the concrete `Lattice` when this topology is one,
+  /// nullptr otherwise. The spatial layer uses it to keep the paper's
+  /// torus/grid hot paths devirtualized and bucket-grid accelerated.
+  [[nodiscard]] virtual const Lattice* as_lattice() const { return nullptr; }
+};
+
+}  // namespace proxcache

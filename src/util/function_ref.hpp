@@ -1,0 +1,45 @@
+#pragma once
+/// \file function_ref.hpp
+/// A minimal non-owning callable reference (the shape of C++26
+/// `std::function_ref`), used where a virtual interface needs to accept an
+/// arbitrary callback without the allocation and copy cost of
+/// `std::function`. The referenced callable must outlive the FunctionRef —
+/// which is always the case for the visitor lambdas passed down the
+/// topology enumeration paths.
+
+#include <type_traits>
+#include <utility>
+
+namespace proxcache {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Non-owning type-erased reference to a callable with signature
+/// `R(Args...)`.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function_ref — callers pass lambdas directly.
+  FunctionRef(F&& f) noexcept
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace proxcache

@@ -1,0 +1,49 @@
+#pragma once
+/// \file kvspec.hpp
+/// The shared `name(key=value, ...)` spec-string grammar behind both the
+/// strategy specs (strategy/spec.hpp) and the topology specs
+/// (topology/spec.hpp). One scanner, one value formatter — so the two
+/// grammars cannot drift apart: both are whitespace- and case-insensitive,
+/// accept numbers / `inf` / per-key symbolic keywords, and emit the same
+/// canonical lowercase form with sorted keys.
+///
+/// Deliberately standalone (no dependency on the registries or the
+/// simulator) so external tools can speak the grammar too.
+
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace proxcache {
+
+/// A symbolic keyword value for one parameter key (e.g. `fallback=expand`
+/// canonicalizing to code 0). The tables are per-spec-kind and teach both
+/// the parser and the formatter.
+struct SpecKeyword {
+  const char* param;
+  const char* word;
+  double code;
+};
+
+/// Parsed `name(key=value, ...)` form.
+struct ParsedKvSpec {
+  std::string name;
+  std::map<std::string, double> params;
+};
+
+/// Parse `text` as `name` or `name(k=v, ...)`. `kind` names the grammar in
+/// error messages ("strategy", "topology"): malformed input throws
+/// std::invalid_argument as `bad <kind> spec '<text>': <detail>` with the
+/// offending token pinpointed.
+[[nodiscard]] ParsedKvSpec parse_kv_spec(std::string_view text,
+                                         std::string_view kind,
+                                         std::span<const SpecKeyword> keywords);
+
+/// Canonical spec string: lowercase name, sorted keys, integers bare,
+/// `inf` and keywords symbolic.
+[[nodiscard]] std::string kv_spec_to_string(
+    const std::string& name, const std::map<std::string, double>& params,
+    std::span<const SpecKeyword> keywords);
+
+}  // namespace proxcache

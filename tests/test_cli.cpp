@@ -174,7 +174,7 @@ TEST(Cli, StringListHelpMarksRepeatable) {
 TEST(CliConfigValidation, RejectsOutOfRangeBetaFromCli) {
   ExperimentConfig config;
   config.num_nodes = 100;
-  config.strategy.beta = 2.0;
+  config.strategy_spec = parse_strategy_spec("two-choice(beta=2)");
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
@@ -189,7 +189,7 @@ TEST(CliConfigValidation, RejectsHotspotRadiusCoveringTheLattice) {
 TEST(CliConfigValidation, RejectsZeroStaleBatchFromCli) {
   ExperimentConfig config;
   config.num_nodes = 100;
-  config.strategy.stale_batch = 0;
+  config.strategy_spec = parse_strategy_spec("two-choice(stale=0)");
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 

@@ -75,7 +75,7 @@ TEST(NearestCostModel, MatchesMonteCarloUniform) {
   config.num_nodes = 625;
   config.num_files = 80;
   config.cache_size = 4;
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   config.seed = 77;
   const ExperimentResult measured = run_experiment(config, 40);
   EXPECT_NEAR(measured.comm_cost.mean(), predicted,
@@ -93,7 +93,7 @@ TEST(NearestCostModel, MatchesMonteCarloZipf) {
   config.cache_size = 2;
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 1.2;
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   config.seed = 78;
   const ExperimentResult measured = run_experiment(config, 40);
   EXPECT_NEAR(measured.comm_cost.mean(), predicted,

@@ -51,7 +51,7 @@ TEST(Determinism, NearestReplicaResample) {
   config.cache_size = 6;
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 0.9;
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   config.seed = 101;
   expect_pool_invariant(config);
 }
@@ -62,9 +62,8 @@ TEST(Determinism, TwoChoiceExpandRadius) {
   config.num_nodes = 400;
   config.num_files = 80;
   config.cache_size = 6;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 5;
-  config.strategy.fallback = FallbackPolicy::ExpandRadius;
+  config.strategy_spec =
+      parse_strategy_spec("two-choice(r=5, fallback=expand)");
   config.seed = 202;
   expect_pool_invariant(config);
 }
@@ -82,11 +81,8 @@ TEST(Determinism, TwoChoiceNearestFallbackStaleBeta) {
   config.origins.hotspot_fraction = 0.5;
   config.origins.hotspot_radius = 3;
   config.missing = MissingFilePolicy::Drop;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 4;
-  config.strategy.fallback = FallbackPolicy::NearestReplica;
-  config.strategy.beta = 0.8;
-  config.strategy.stale_batch = 4;
+  config.strategy_spec = parse_strategy_spec(
+      "two-choice(r=4, fallback=nearest, beta=0.8, stale=4)");
   config.seed = 303;
   expect_pool_invariant(config);
 }
@@ -161,8 +157,7 @@ TEST(Determinism, SharedContextIsPoolInvariant) {
   config.cache_size = 6;
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 0.9;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 5;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=5)");
   config.seed = 606;
   const SimulationContext context(config);
   const std::size_t runs = 6;
@@ -210,29 +205,33 @@ TEST(Determinism, RegistrySpecPathMatchesEnumGoldenMaster) {
   EXPECT_DOUBLE_EQ(nearest.comm_cost, 3.9404296875);
 }
 
-// Every scenario preset driven through explicit specs is bit-identical to
-// the same preset driven through the legacy enum knobs.
+// A parameter-free spec and its defaults-spelled-out twin are bit-identical
+// on every scenario preset (with_defaults is the single source of effective
+// values, so the two routes must collapse to the same run).
 TEST(Determinism, SpecPathIsPresetInvariant) {
   for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
-    ExperimentConfig legacy = scenario.config;
-    legacy.num_nodes = 400;
-    legacy.num_files = 80;
-    legacy.cache_size = 6;
-    legacy.seed = 808;
-    for (const char* spec : {"nearest", "two-choice(d=2)"}) {
-      ExperimentConfig via_spec = legacy;
-      via_spec.strategy_spec = parse_strategy_spec(spec);
-      legacy.strategy.kind = via_spec.strategy_spec.name == "nearest"
-                                 ? StrategyKind::NearestReplica
-                                 : StrategyKind::TwoChoice;
-      const RunResult a = run_simulation(legacy, 0);
-      const RunResult b = run_simulation(via_spec, 0);
-      EXPECT_EQ(a.max_load, b.max_load) << scenario.name << " " << spec;
-      EXPECT_EQ(a.comm_cost, b.comm_cost) << scenario.name << " " << spec;
-      EXPECT_EQ(a.requests, b.requests) << scenario.name << " " << spec;
-      EXPECT_EQ(a.fallbacks, b.fallbacks) << scenario.name << " " << spec;
+    ExperimentConfig base = scenario.config;
+    base.num_nodes = 400;
+    base.num_files = 80;
+    base.cache_size = 6;
+    base.seed = 808;
+    const std::pair<const char*, const char*> twins[] = {
+        {"nearest", "nearest(stale=1)"},
+        {"two-choice", "two-choice(d=2, r=inf, beta=1, fallback=expand)"},
+    };
+    for (const auto& [terse, spelled] : twins) {
+      ExperimentConfig a_config = base;
+      a_config.strategy_spec = parse_strategy_spec(terse);
+      ExperimentConfig b_config = base;
+      b_config.strategy_spec = parse_strategy_spec(spelled);
+      const RunResult a = run_simulation(a_config, 0);
+      const RunResult b = run_simulation(b_config, 0);
+      EXPECT_EQ(a.max_load, b.max_load) << scenario.name << " " << terse;
+      EXPECT_EQ(a.comm_cost, b.comm_cost) << scenario.name << " " << terse;
+      EXPECT_EQ(a.requests, b.requests) << scenario.name << " " << terse;
+      EXPECT_EQ(a.fallbacks, b.fallbacks) << scenario.name << " " << terse;
       EXPECT_EQ(a.load_histogram.counts(), b.load_histogram.counts())
-          << scenario.name << " " << spec;
+          << scenario.name << " " << terse;
     }
   }
 }
@@ -265,7 +264,7 @@ TEST(Determinism, HotspotSeedContractGoldenMaster) {
   config.origins.kind = OriginKind::Hotspot;
   config.origins.hotspot_fraction = 0.6;
   config.origins.hotspot_radius = 4;
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   config.seed = 1234;
   const RunResult result = run_simulation(config, 0);
   EXPECT_EQ(result.max_load, 14u);

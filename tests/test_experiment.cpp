@@ -41,8 +41,8 @@ TEST(Experiment, ParallelMatchesSequential) {
 
 TEST(Experiment, RatesAreFractions) {
   ExperimentConfig config = base_config();
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 1;  // tiny radius provokes fallbacks
+  config.strategy_spec =
+      parse_strategy_spec("two-choice(r=1)");  // tiny radius provokes fallbacks
   const ExperimentResult result = run_experiment(config, 4);
   EXPECT_GE(result.fallback_rate, 0.0);
   EXPECT_GE(result.resample_rate, 0.0);
@@ -100,15 +100,15 @@ TEST(Experiment, TenThousandTinyReplicationsStressThePool) {
 
 TEST(ConfigValidation, RejectsBetaOutsideUnitInterval) {
   ExperimentConfig config = base_config();
-  config.strategy.beta = 1.5;
+  config.strategy_spec = parse_strategy_spec("two-choice(beta=1.5)");
   EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
-  config.strategy.beta = -0.1;
+  config.strategy_spec = parse_strategy_spec("two-choice(beta=-0.1)");
   EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
 }
 
 TEST(ConfigValidation, RejectsZeroStaleBatch) {
   ExperimentConfig config = base_config();
-  config.strategy.stale_batch = 0;
+  config.strategy_spec = parse_strategy_spec("two-choice(stale=0)");
   EXPECT_THROW(run_experiment(config, 1), std::invalid_argument);
 }
 

@@ -50,9 +50,9 @@ TEST(FairnessEndToEnd, TwoChoiceIsFairerThanNearest) {
   nearest.num_files = 16;
   nearest.cache_size = 8;
   nearest.seed = 21;
-  nearest.strategy.kind = StrategyKind::NearestReplica;
+  nearest.strategy_spec = parse_strategy_spec("nearest");
   ExperimentConfig two = nearest;
-  two.strategy.kind = StrategyKind::TwoChoice;
+  two.strategy_spec = parse_strategy_spec("two-choice");
 
   // Compare pooled load histograms through the per-run loads: rebuild
   // Jain's index from the histogram of one run each.

@@ -99,8 +99,7 @@ TEST(HotspotEndToEnd, ConcentratedDemandRaisesMaxLoad) {
   uniform.num_files = 50;
   uniform.cache_size = 5;
   uniform.seed = 3;
-  uniform.strategy.kind = StrategyKind::TwoChoice;
-  uniform.strategy.radius = 4;
+  uniform.strategy_spec = parse_strategy_spec("two-choice(r=4)");
 
   ExperimentConfig hotspot = uniform;
   hotspot.origins.kind = OriginKind::Hotspot;
@@ -119,14 +118,13 @@ TEST(HotspotEndToEnd, LargerRadiusAbsorbsTheHotspot) {
   config.num_files = 50;
   config.cache_size = 5;
   config.seed = 4;
-  config.strategy.kind = StrategyKind::TwoChoice;
   config.origins.kind = OriginKind::Hotspot;
   config.origins.hotspot_fraction = 0.8;
   config.origins.hotspot_radius = 2;
 
-  config.strategy.radius = 2;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=2)");
   const double tight = run_experiment(config, 10).max_load.mean();
-  config.strategy.radius = 12;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=12)");
   const double wide = run_experiment(config, 10).max_load.mean();
   EXPECT_LT(wide, tight)
       << "a wider dispatch radius must spread hotspot demand";

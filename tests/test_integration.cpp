@@ -21,9 +21,9 @@ TEST(Integration, TwoChoiceBeatsNearestAtHighReplication) {
   nearest.num_files = 16;
   nearest.cache_size = 8;
   nearest.seed = 1;
-  nearest.strategy.kind = StrategyKind::NearestReplica;
+  nearest.strategy_spec = parse_strategy_spec("nearest");
   ExperimentConfig two = nearest;
-  two.strategy.kind = StrategyKind::TwoChoice;
+  two.strategy_spec = parse_strategy_spec("two-choice");
 
   const ExperimentResult rn = run_experiment(nearest, 10);
   const ExperimentResult rt = run_experiment(two, 10);
@@ -38,7 +38,7 @@ TEST(Integration, Example1FullMemoryMatchesClassicTwoChoice) {
   config.num_files = 4;
   config.cache_size = 64;  // with-replacement draws cover all 4 files whp
   config.seed = 2;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
   const ExperimentResult cache_result = run_experiment(config, 10);
 
   Summary classic;
@@ -58,7 +58,7 @@ TEST(Integration, Example2LowMemoryAnnihilatesTwoChoices) {
   config.num_files = 1024;
   config.cache_size = 1;
   config.seed = 3;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
   const ExperimentResult result = run_experiment(config, 10);
 
   Summary classic;
@@ -77,7 +77,7 @@ TEST(Integration, Example3SmallLibraryKeepsTwoChoices) {
   config.num_files = 32;  // n^(1/2)
   config.cache_size = 1;
   config.seed = 4;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
   const ExperimentResult result = run_experiment(config, 10);
   // Max load should stay close to the two-choice order (log log n ≈ 2–4),
   // far below the Example 2 regime.
@@ -93,12 +93,11 @@ TEST(Integration, CostOrderingAcrossStrategies) {
   base.seed = 5;
 
   ExperimentConfig nearest = base;
-  nearest.strategy.kind = StrategyKind::NearestReplica;
+  nearest.strategy_spec = parse_strategy_spec("nearest");
   ExperimentConfig bounded = base;
-  bounded.strategy.kind = StrategyKind::TwoChoice;
-  bounded.strategy.radius = 6;
+  bounded.strategy_spec = parse_strategy_spec("two-choice(r=6)");
   ExperimentConfig unbounded = base;
-  unbounded.strategy.kind = StrategyKind::TwoChoice;
+  unbounded.strategy_spec = parse_strategy_spec("two-choice");
 
   const double cn = run_experiment(nearest, 8).comm_cost.mean();
   const double cb = run_experiment(bounded, 8).comm_cost.mean();
@@ -114,10 +113,10 @@ TEST(Integration, RadiusTradeoffMonotoneInCost) {
   config.num_files = 50;
   config.cache_size = 10;
   config.seed = 6;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
   double last_cost = -1.0;
   for (const Hop r : {2u, 4u, 8u, 16u}) {
-    config.strategy.radius = r;
+    config.strategy_spec.params["r"] = r;
     const double cost = run_experiment(config, 8).comm_cost.mean();
     EXPECT_GT(cost, last_cost);
     last_cost = cost;
@@ -132,8 +131,8 @@ TEST(Integration, FallbackRateVanishesInGoodRegime) {
   config.num_files = 900;
   config.cache_size = 30;   // M = n^0.5
   config.seed = 7;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 15;  // r = n^0.4; α+2β ≈ 1.3 > 1
+  config.strategy_spec =
+      parse_strategy_spec("two-choice(r=15)");  // r = n^0.4; α+2β ≈ 1.3 > 1
   const ExperimentResult result = run_experiment(config, 5);
   EXPECT_LT(result.fallback_rate, 0.01);
 }
@@ -180,7 +179,7 @@ TEST(Integration, MaxLoadGrowsSlowlyForTwoChoice) {
   small.num_files = 8;
   small.cache_size = 8;
   small.seed = 10;
-  small.strategy.kind = StrategyKind::TwoChoice;
+  small.strategy_spec = parse_strategy_spec("two-choice");
   ExperimentConfig large = small;
   large.num_nodes = 6400;
 

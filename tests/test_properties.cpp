@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/experiment.hpp"
+#include "strategy/registry.hpp"
 #include "core/simulation.hpp"
 
 namespace proxcache {
@@ -14,7 +15,7 @@ namespace {
 
 using ConfigPoint =
     std::tuple<std::size_t /*n*/, std::size_t /*K*/, std::size_t /*M*/,
-               StrategyKind, Wrap, PopularityKind>;
+               const char* /*strategy spec*/, Wrap, PopularityKind>;
 
 class SimulationPropertyTest : public ::testing::TestWithParam<ConfigPoint> {
  protected:
@@ -24,14 +25,11 @@ class SimulationPropertyTest : public ::testing::TestWithParam<ConfigPoint> {
     config.num_nodes = n;
     config.num_files = k;
     config.cache_size = m;
-    config.strategy.kind = strategy;
+    config.strategy_spec = parse_strategy_spec(strategy);
     config.wrap = wrap;
     config.popularity.kind = popularity;
     config.popularity.gamma = 0.8;
     config.seed = 0xFEED;
-    if (strategy == StrategyKind::TwoChoice) {
-      config.strategy.radius = 7;
-    }
     return config;
   }
 };
@@ -82,7 +80,7 @@ std::string config_name(
   const auto [n, k, m, strategy, wrap, popularity] = info.param;
   std::string name = "n" + std::to_string(n) + "_K" + std::to_string(k) +
                      "_M" + std::to_string(m);
-  name += strategy == StrategyKind::NearestReplica ? "_nearest" : "_two";
+  name += std::string(strategy) == "nearest" ? "_nearest" : "_two";
   name += wrap == Wrap::Torus ? "_torus" : "_grid";
   name += popularity == PopularityKind::Uniform ? "_uni" : "_zipf";
   return name;
@@ -93,8 +91,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::size_t{64}, std::size_t{225}),
                        ::testing::Values(std::size_t{10}, std::size_t{100}),
                        ::testing::Values(std::size_t{1}, std::size_t{4}),
-                       ::testing::Values(StrategyKind::NearestReplica,
-                                         StrategyKind::TwoChoice),
+                       ::testing::Values("nearest", "two-choice(r=7)"),
                        ::testing::Values(Wrap::Torus, Wrap::Grid),
                        ::testing::Values(PopularityKind::Uniform,
                                          PopularityKind::Zipf)),
@@ -114,9 +111,9 @@ TEST_P(PolicyMatrixTest, PoliciesAreTotal) {
   config.cache_size = 1;
   config.seed = 0xFEE7;
   config.missing = missing;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 2;  // tiny radius provokes fallbacks
-  config.strategy.fallback = fallback;
+  StrategySpec spec = parse_strategy_spec("two-choice(r=2)");
+  spec.params["fallback"] = fallback_param(fallback);
+  config.strategy_spec = spec;  // tiny radius provokes fallbacks
   if (missing == MissingFilePolicy::Strict) {
     // K=300 > n=169 with M=1 guarantees uncached files; Strict must throw.
     EXPECT_THROW(run_simulation(config, 0), std::runtime_error);
@@ -177,8 +174,8 @@ TEST_P(DChoiceSweepTest, AllChoiceCountsWork) {
   config.num_files = 10;
   config.cache_size = 5;
   config.seed = 0xD;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.num_choices = GetParam();
+  config.strategy_spec = parse_strategy_spec(
+      "two-choice(d=" + std::to_string(GetParam()) + ")");
   const RunResult result = run_simulation(config, 0);
   EXPECT_EQ(result.requests, config.num_nodes);
   EXPECT_GE(result.max_load, 1u);

@@ -13,7 +13,7 @@ QueueingConfig base_config() {
   config.network.num_files = 20;
   config.network.cache_size = 5;
   config.network.seed = 5;
-  config.network.strategy.kind = StrategyKind::TwoChoice;
+  config.network.strategy_spec = parse_strategy_spec("two-choice");
   config.arrival_rate = 0.5;
   config.service_rate = 1.0;
   config.horizon = 300.0;
@@ -27,7 +27,7 @@ TEST(Supermarket, MM1SojournMatchesTheory) {
   config.network.num_nodes = 1;
   config.network.num_files = 1;
   config.network.cache_size = 1;
-  config.network.strategy.kind = StrategyKind::NearestReplica;
+  config.network.strategy_spec = parse_strategy_spec("nearest");
   config.arrival_rate = 0.5;
   config.service_rate = 1.0;
   config.horizon = 20000.0;
@@ -65,7 +65,7 @@ TEST(Supermarket, TwoChoiceBeatsOneChoiceUnderLoad) {
   two.arrival_rate = 0.9;
   two.horizon = 1500.0;
   QueueingConfig one = two;
-  one.network.strategy.num_choices = 1;
+  one.network.strategy_spec = parse_strategy_spec("two-choice(d=1)");
   double two_q = 0.0;
   double one_q = 0.0;
   for (std::uint64_t s = 0; s < 3; ++s) {
@@ -77,7 +77,7 @@ TEST(Supermarket, TwoChoiceBeatsOneChoiceUnderLoad) {
 
 TEST(Supermarket, ProximityRadiusBoundsHops) {
   QueueingConfig config = base_config();
-  config.network.strategy.radius = 3;
+  config.network.strategy_spec = parse_strategy_spec("two-choice(r=3)");
   const QueueingResult result = run_supermarket(config, 7);
   EXPECT_LE(result.mean_hops, 4.0);  // fallbacks may exceed r occasionally
   EXPECT_GT(result.completed, 100u);
@@ -119,11 +119,9 @@ TEST(Supermarket, RejectsStaleSpecParameter) {
   EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
   config.network.strategy_spec = parse_strategy_spec("two-choice(r=8)");
   EXPECT_NO_THROW(run_supermarket(config, 1));
-  // The legacy knob maps onto the same spec parameter and is equally
-  // rejected instead of the historical silent ignore.
-  config.network.strategy_spec = {};
-  config.network.strategy.stale_batch = 64;
-  EXPECT_THROW(run_supermarket(config, 1), std::invalid_argument);
+  // An explicit always-fresh request is fine: stale=1 is the live model.
+  config.network.strategy_spec = parse_strategy_spec("two-choice(stale=1)");
+  EXPECT_NO_THROW(run_supermarket(config, 1));
 }
 
 }  // namespace

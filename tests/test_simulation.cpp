@@ -18,7 +18,7 @@ ExperimentConfig base_config() {
 
 TEST(Simulation, ConservationUnderResample) {
   ExperimentConfig config = base_config();
-  config.strategy.kind = StrategyKind::NearestReplica;
+  config.strategy_spec = parse_strategy_spec("nearest");
   const RunResult result = run_simulation(config, 0);
   // Resample keeps all n requests; none dropped.
   EXPECT_EQ(result.requests, config.num_nodes);
@@ -57,7 +57,7 @@ TEST(Simulation, DifferentRunsDiffer) {
 
 TEST(Simulation, TwoChoiceUnboundedRadiusRuns) {
   ExperimentConfig config = base_config();
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
   const RunResult result = run_simulation(config, 0);
   EXPECT_EQ(result.requests, config.num_nodes);
   EXPECT_GT(result.comm_cost, 0.0);
@@ -65,8 +65,7 @@ TEST(Simulation, TwoChoiceUnboundedRadiusRuns) {
 
 TEST(Simulation, TwoChoiceFiniteRadiusCostBounded) {
   ExperimentConfig config = base_config();
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 3;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=3)");
   const RunResult result = run_simulation(config, 0);
   // Nearly all requests stay within the radius; the mean can only exceed
   // the radius if fallbacks dominate, which they must not at M=5, K=50.
@@ -76,9 +75,9 @@ TEST(Simulation, TwoChoiceFiniteRadiusCostBounded) {
 
 TEST(Simulation, NearestCostLowerThanTwoChoiceUnbounded) {
   ExperimentConfig nearest = base_config();
-  nearest.strategy.kind = StrategyKind::NearestReplica;
+  nearest.strategy_spec = parse_strategy_spec("nearest");
   ExperimentConfig two = base_config();
-  two.strategy.kind = StrategyKind::TwoChoice;
+  two.strategy_spec = parse_strategy_spec("two-choice");
   double nearest_cost = 0.0;
   double two_cost = 0.0;
   for (std::uint64_t i = 0; i < 5; ++i) {
@@ -122,8 +121,7 @@ TEST(Simulation, ValidatesConfig) {
 
 TEST(Simulation, DescribeMentionsKeyParameters) {
   ExperimentConfig config = base_config();
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 12;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=12)");
   const std::string text = config.describe();
   EXPECT_NE(text.find("n=225"), std::string::npos);
   EXPECT_NE(text.find("K=50"), std::string::npos);

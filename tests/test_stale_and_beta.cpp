@@ -60,11 +60,11 @@ TEST(StaleSimulation, PeriodEqualToTraceLengthMatchesNeverRefreshed) {
   config.num_files = 30;
   config.cache_size = 5;
   config.seed = 11;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.stale_batch =
-      static_cast<std::uint32_t>(config.effective_requests());
+  config.strategy_spec = parse_strategy_spec("two-choice");
+  config.strategy_spec.params["stale"] =
+      static_cast<double>(config.effective_requests());
   const RunResult at_length = run_simulation(config, 0);
-  config.strategy.stale_batch = 1u << 30;  // never refreshes
+  config.strategy_spec.params["stale"] = 1u << 30;  // never refreshes
   const RunResult never = run_simulation(config, 0);
   EXPECT_EQ(at_length.max_load, never.max_load);
   EXPECT_EQ(at_length.comm_cost, never.comm_cost);
@@ -97,10 +97,8 @@ TEST(StaleSimulation, StaleRunWithFallbackDropsKeepsTheLedger) {
   config.cache_size = 2;
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 1.1;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 1;
-  config.strategy.fallback = FallbackPolicy::Drop;
-  config.strategy.stale_batch = 5;
+  config.strategy_spec =
+      parse_strategy_spec("two-choice(r=1, fallback=drop, stale=5)");
   config.seed = 12;
   const RunResult result = run_simulation(config, 0);
   EXPECT_GT(result.dropped, 0u) << "radius 1 must provoke drops";
@@ -113,9 +111,9 @@ TEST(StaleSimulation, FreshEqualsPeriodOne) {
   fresh.num_files = 30;
   fresh.cache_size = 5;
   fresh.seed = 5;
-  fresh.strategy.kind = StrategyKind::TwoChoice;
+  fresh.strategy_spec = parse_strategy_spec("two-choice");
   ExperimentConfig period_one = fresh;
-  period_one.strategy.stale_batch = 1;
+  period_one.strategy_spec = parse_strategy_spec("two-choice(stale=1)");
   // stale_batch = 1 keeps the plain tracker path; results identical.
   const RunResult a = run_simulation(fresh, 0);
   const RunResult b = run_simulation(period_one, 0);
@@ -131,10 +129,11 @@ TEST(StaleSimulation, ExtremeStalenessDegradesTowardOneChoice) {
   base.num_files = 16;
   base.cache_size = 8;
   base.seed = 6;
-  base.strategy.kind = StrategyKind::TwoChoice;
+  base.strategy_spec = parse_strategy_spec("two-choice");
 
   ExperimentConfig stale = base;
-  stale.strategy.stale_batch = 1 << 30;
+  stale.strategy_spec = parse_strategy_spec("two-choice");
+  stale.strategy_spec.params["stale"] = 1 << 30;
 
   double fresh_load = 0.0;
   double stale_load = 0.0;
@@ -152,11 +151,11 @@ TEST(StaleSimulation, ModerateStalenessDegradesGracefully) {
   config.num_files = 16;
   config.cache_size = 8;
   config.seed = 7;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
 
   double last = 0.0;
   for (const std::uint32_t period : {1u, 64u, 1u << 30}) {
-    config.strategy.stale_batch = period;
+    config.strategy_spec.params["stale"] = period;
     double total = 0.0;
     for (std::uint64_t i = 0; i < 6; ++i) {
       total += run_simulation(config, i).max_load;
@@ -173,9 +172,9 @@ TEST(OnePlusBeta, BetaOneIsTheDefaultProcess) {
   a.num_files = 10;
   a.cache_size = 5;
   a.seed = 8;
-  a.strategy.kind = StrategyKind::TwoChoice;
+  a.strategy_spec = parse_strategy_spec("two-choice");
   ExperimentConfig b = a;
-  b.strategy.beta = 1.0;
+  b.strategy_spec = parse_strategy_spec("two-choice(beta=1)");
   EXPECT_EQ(run_simulation(a, 0).max_load, run_simulation(b, 0).max_load);
 }
 
@@ -185,11 +184,9 @@ TEST(OnePlusBeta, BetaZeroMatchesOneChoiceLevel) {
   one_choice.num_files = 16;
   one_choice.cache_size = 8;
   one_choice.seed = 9;
-  one_choice.strategy.kind = StrategyKind::TwoChoice;
-  one_choice.strategy.num_choices = 1;
+  one_choice.strategy_spec = parse_strategy_spec("two-choice(d=1)");
   ExperimentConfig beta_zero = one_choice;
-  beta_zero.strategy.num_choices = 2;
-  beta_zero.strategy.beta = 0.0;
+  beta_zero.strategy_spec = parse_strategy_spec("two-choice(d=2, beta=0)");
 
   double l_one = 0.0;
   double l_beta = 0.0;
@@ -206,11 +203,11 @@ TEST(OnePlusBeta, LoadDecreasesInBeta) {
   config.num_files = 16;
   config.cache_size = 8;
   config.seed = 10;
-  config.strategy.kind = StrategyKind::TwoChoice;
+  config.strategy_spec = parse_strategy_spec("two-choice");
 
   std::vector<double> loads;
   for (const double beta : {0.0, 0.5, 1.0}) {
-    config.strategy.beta = beta;
+    config.strategy_spec.params["beta"] = beta;
     double total = 0.0;
     for (std::uint64_t i = 0; i < 8; ++i) {
       total += run_simulation(config, i).max_load;

@@ -1,7 +1,7 @@
 // Tests for the strategy registry (strategy/registry.hpp): catalog
 // contents, spec validation (unknown names/keys, out-of-range values),
-// factory wiring, legacy-config equivalence, and behavioral sanity of the
-// two extension strategies the open API enables.
+// factory wiring, and behavioral sanity of the two extension strategies
+// the open API enables.
 #include "strategy/registry.hpp"
 
 #include <gtest/gtest.h>
@@ -178,7 +178,7 @@ TEST(StrategyRegistry, AddRejectsDuplicatesAndMissingFactories) {
   StrategyEntry duplicate;
   duplicate.name = "nearest";
   duplicate.factory = [](const StrategySpec&, const ReplicaIndex&,
-                         const Lattice&, const ExperimentConfig&)
+                         const Topology&, const ExperimentConfig&)
       -> std::unique_ptr<Strategy> { return nullptr; };
   EXPECT_THROW(registry.add(duplicate), std::invalid_argument);
   StrategyEntry unbuildable;
@@ -196,7 +196,7 @@ TEST(StrategyRegistry, CustomEntryIsConstructible) {
                       Rng&) override {
       Assignment a;
       a.server = index_->placement().replicas(request.file)[0];
-      a.hops = index_->lattice().distance(request.origin, a.server);
+      a.hops = index_->topology().distance(request.origin, a.server);
       return a;
     }
     [[nodiscard]] std::string name() const override { return "first"; }
@@ -210,7 +210,7 @@ TEST(StrategyRegistry, CustomEntryIsConstructible) {
                 "always the first replica in the list",
                 {},
                 [](const StrategySpec&, const ReplicaIndex& index,
-                   const Lattice&, const ExperimentConfig&)
+                   const Topology&, const ExperimentConfig&)
                     -> std::unique_ptr<Strategy> {
                   return std::make_unique<FirstReplica>(index);
                 }});
@@ -245,7 +245,7 @@ TEST(StrategyRegistry, GlobalRegistryDrivesTheSimulatorEndToEnd) {
                         Rng&) override {
         Assignment a;
         a.server = index_->placement().replicas(request.file)[0];
-        a.hops = index_->lattice().distance(request.origin, a.server);
+        a.hops = index_->topology().distance(request.origin, a.server);
         return a;
       }
       [[nodiscard]] std::string name() const override { return "anywhere"; }
@@ -257,8 +257,9 @@ TEST(StrategyRegistry, GlobalRegistryDrivesTheSimulatorEndToEnd) {
         {name,
          "test-only: first replica in the list",
          {},
-         [](const StrategySpec&, const ReplicaIndex& index, const Lattice&,
-            const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+         [](const StrategySpec&, const ReplicaIndex& index,
+            const Topology&, const ExperimentConfig&)
+            -> std::unique_ptr<Strategy> {
            return std::make_unique<Anywhere>(index);
          }});
   }
@@ -299,22 +300,14 @@ TEST(StrategyRegistry, FactoriesProduceExpectedStrategyTypes) {
             "prox-weighted(d=3, alpha=1)");
 }
 
-TEST(StrategyRegistry, LegacyConfigMapsToEquivalentSpec) {
-  StrategyConfig legacy;  // defaults: two-choice, r=inf, d=2
-  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(), "two-choice");
-
-  legacy.kind = StrategyKind::NearestReplica;
-  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(), "nearest");
-
-  legacy.kind = StrategyKind::TwoChoice;
-  legacy.radius = 16;
-  legacy.num_choices = 3;
-  legacy.beta = 0.7;
-  legacy.fallback = FallbackPolicy::Drop;
-  legacy.with_replacement = true;
-  legacy.stale_batch = 32;
-  EXPECT_EQ(strategy_spec_from_config(legacy).to_string(),
-            "two-choice(beta=0.7, d=3, fallback=drop, r=16, stale=32, wr=1)");
+// An empty strategy_spec resolves to the registry-default two-choice
+// strategy (the historical default config), never to an unnamed spec.
+TEST(StrategyRegistry, EmptySpecResolvesToDefaultTwoChoice) {
+  ExperimentConfig config;
+  EXPECT_TRUE(config.strategy_spec.empty());
+  EXPECT_EQ(config.resolved_strategy().to_string(), "two-choice");
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=8)");
+  EXPECT_EQ(config.resolved_strategy().to_string(), "least-loaded(r=8)");
 }
 
 TEST(StrategyRegistry, FallbackParamConversionsRoundTrip) {
@@ -412,31 +405,27 @@ TEST(ProxWeightedStrategy, SingleChoiceServesEveryRequest) {
   EXPECT_EQ(result.fallbacks, 0u);
 }
 
-// --- Registry path vs. legacy enum path ----------------------------------
+// --- Spec canonicalization invariance ------------------------------------
 
-// The compat shim contract: a legacy StrategyConfig and its equivalent
-// spec must produce bit-identical runs, for every scenario preset and both
-// paper strategies (the acceptance gate of the redesign).
-TEST(StrategyRegistry, SpecAndLegacyConfigAreBitIdentical) {
+// A spec and its canonical round-trip (parse -> to_string -> parse) must
+// produce bit-identical runs for every scenario preset — no hidden state
+// outside the spec string.
+TEST(StrategyRegistry, CanonicalRoundTripIsBitIdentical) {
   for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
-    ExperimentConfig legacy = scenario.config;
-    legacy.num_nodes = 400;
-    legacy.num_files = 80;
-    legacy.cache_size = 6;
-    legacy.seed = 909;
+    ExperimentConfig config = scenario.config;
+    config.num_nodes = 400;
+    config.num_files = 80;
+    config.cache_size = 6;
+    config.seed = 909;
 
-    // Strategy I.
-    legacy.strategy.kind = StrategyKind::NearestReplica;
-    ExperimentConfig spec = legacy;
-    spec.strategy = StrategyConfig{};  // spec path must not read the knobs
-    spec.strategy_spec = parse_strategy_spec("nearest");
-    expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
-
-    // Strategy II at a finite radius.
-    legacy.strategy.kind = StrategyKind::TwoChoice;
-    legacy.strategy.radius = 5;
-    spec.strategy_spec = parse_strategy_spec("two-choice(d=2, r=5)");
-    expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
+    for (const char* text : {"nearest", "two-choice(d=2, r=5)"}) {
+      config.strategy_spec = parse_strategy_spec(text);
+      ExperimentConfig round_tripped = config;
+      round_tripped.strategy_spec =
+          parse_strategy_spec(config.strategy_spec.to_string());
+      expect_same_result(run_simulation(config, 0),
+                         run_simulation(round_tripped, 0));
+    }
   }
 }
 
@@ -458,19 +447,15 @@ TEST(StrategyRegistry, RebindingContextMatchesFreshContext) {
                std::invalid_argument);
 }
 
-TEST(StrategyRegistry, SpecAndLegacyStaleBetaFallbackAreBitIdentical) {
-  ExperimentConfig legacy = small_config();
-  legacy.strategy.kind = StrategyKind::TwoChoice;
-  legacy.strategy.radius = 4;
-  legacy.strategy.fallback = FallbackPolicy::NearestReplica;
-  legacy.strategy.beta = 0.8;
-  legacy.strategy.stale_batch = 4;
-
-  ExperimentConfig spec = legacy;
-  spec.strategy = StrategyConfig{};
-  spec.strategy_spec = parse_strategy_spec(
+// Symbolic keywords and their numeric codes are interchangeable in specs.
+TEST(StrategyRegistry, KeywordAndNumericFallbackAreBitIdentical) {
+  ExperimentConfig keyword = small_config();
+  keyword.strategy_spec = parse_strategy_spec(
       "two-choice(r=4, fallback=nearest, beta=0.8, stale=4)");
-  expect_same_result(run_simulation(legacy, 0), run_simulation(spec, 0));
+  ExperimentConfig numeric = small_config();
+  numeric.strategy_spec = parse_strategy_spec(
+      "two-choice(r=4, fallback=1, beta=0.8, stale=4)");
+  expect_same_result(run_simulation(keyword, 0), run_simulation(numeric, 0));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // `SimulationContext::run` must reproduce its RunResult bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -24,9 +25,13 @@
 #include "scenario/registry.hpp"
 #include "scenario/trace_source.hpp"
 #include "spatial/replica_index.hpp"
+#include "strategy/registry.hpp"
+#include "topology/registry.hpp"
 
 namespace proxcache {
 namespace {
+
+constexpr double kInfParam = std::numeric_limits<double>::infinity();
 
 /// The pre-refactor vector-based sanitize pass, inlined verbatim so the
 /// reference pipeline stays independent of SanitizingTraceSource (which
@@ -85,51 +90,61 @@ SanitizeStats sanitize_trace_reference(std::vector<Request>& trace,
 }
 
 /// The pre-streaming pipeline, verbatim: materialize the full trace, run
-/// the sanitize pass over the vector, then iterate.
+/// the sanitize pass over the vector, then iterate. The strategy is built
+/// directly from the resolved spec's parameters (nearest / two-choice
+/// only), independent of the registry's factory path.
 RunResult run_materialized(const ExperimentConfig& config,
                            std::uint64_t run_index) {
   config.validate();
 
-  const Lattice lattice = Lattice::from_node_count(config.num_nodes,
-                                                   config.wrap);
+  const std::shared_ptr<const Topology> topology =
+      TopologyRegistry::global().make(config.resolved_topology());
+  const std::size_t num_nodes = topology->size();
   const Popularity popularity =
       config.popularity.materialize(config.num_files);
 
   Rng placement_rng(
       derive_seed(config.seed, {run_index, seed_phase::kPlacement}));
   const Placement placement =
-      Placement::generate(config.num_nodes, popularity, config.cache_size,
+      Placement::generate(num_nodes, popularity, config.cache_size,
                           config.placement_mode, placement_rng);
 
   Rng trace_rng(derive_seed(config.seed, {run_index, seed_phase::kTrace}));
   const std::unique_ptr<TraceSource> source = make_trace_source(
-      config, lattice, popularity, config.effective_requests());
+      config, *topology, popularity, config.effective_requests());
   std::vector<Request> trace =
       materialize(*source, config.effective_requests(), trace_rng);
   const SanitizeStats sanitize = sanitize_trace_reference(
       trace, placement, popularity, config.missing, trace_rng);
 
-  const ReplicaIndex index(lattice, placement);
+  const ReplicaIndex index(*topology, placement);
+  const StrategySpec spec = config.resolved_strategy();
   std::unique_ptr<Strategy> strategy;
-  if (config.strategy.kind == StrategyKind::NearestReplica) {
+  if (spec.name == "nearest") {
     strategy = std::make_unique<NearestReplicaStrategy>(index);
   } else {
+    const double r = spec.get_or("r", kInfParam);
     TwoChoiceOptions options;
-    options.radius = config.strategy.radius;
-    options.num_choices = config.strategy.num_choices;
-    options.with_replacement = config.strategy.with_replacement;
-    options.fallback = config.strategy.fallback;
-    options.beta = config.strategy.beta;
+    options.radius = r >= static_cast<double>(kUnboundedRadius)
+                         ? kUnboundedRadius
+                         : static_cast<Hop>(r);
+    options.num_choices =
+        static_cast<std::uint32_t>(spec.get_or("d", 2.0));
+    options.with_replacement = spec.get_or("wr", 0.0) != 0.0;
+    options.fallback =
+        fallback_policy_from_param(spec.get_or("fallback", 0.0));
+    options.beta = spec.get_or("beta", 1.0);
     strategy = std::make_unique<TwoChoiceStrategy>(index, options);
   }
 
   Rng strategy_rng(
       derive_seed(config.seed, {run_index, seed_phase::kStrategy}));
-  LoadTracker tracker(config.num_nodes);
+  LoadTracker tracker(num_nodes);
+  const auto stale_batch =
+      static_cast<std::uint32_t>(spec.get_or("stale", 1.0));
   std::unique_ptr<StaleLoadView> stale;
-  if (config.strategy.stale_batch > 1) {
-    stale = std::make_unique<StaleLoadView>(tracker,
-                                            config.strategy.stale_batch);
+  if (stale_batch > 1) {
+    stale = std::make_unique<StaleLoadView>(tracker, stale_batch);
   }
   const LoadView& load_view = stale ? static_cast<const LoadView&>(*stale)
                                     : static_cast<const LoadView&>(tracker);
@@ -205,18 +220,16 @@ void expect_equivalent(const ExperimentConfig& config,
 // keeps each preset's trace process intact).
 TEST(StreamingEquivalence, EveryRegistryPresetTimesBothStrategies) {
   for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
-    for (const StrategyKind kind :
-         {StrategyKind::NearestReplica, StrategyKind::TwoChoice}) {
+    for (const char* name : {"nearest", "two-choice"}) {
       ExperimentConfig config = scenario.config;
       config.num_nodes = 400;
       config.num_files = 80;
       config.cache_size = 6;
-      config.strategy.kind = kind;
-      config.seed = 0xE0 + static_cast<std::uint64_t>(kind);
-      expect_equivalent(config,
-                        scenario.name + (kind == StrategyKind::NearestReplica
-                                             ? " / nearest"
-                                             : " / two-choice"));
+      config.strategy_spec = parse_strategy_spec(name);
+      config.seed =
+          0xE0 + static_cast<std::uint64_t>(config.strategy_spec.name !=
+                                            "nearest");
+      expect_equivalent(config, scenario.name + " / " + name);
     }
   }
 }
@@ -233,9 +246,8 @@ TEST(StreamingEquivalence, ResampleRepairStreamWithUncachedFiles) {
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 1.2;
   config.seed = 77;
-  for (const StrategyKind kind :
-       {StrategyKind::NearestReplica, StrategyKind::TwoChoice}) {
-    config.strategy.kind = kind;
+  for (const char* name : {"nearest", "two-choice"}) {
+    config.strategy_spec = parse_strategy_spec(name);
     const RunResult result = run_simulation(config, 0);
     EXPECT_GT(result.resampled, 0u)
         << "test setup must force repairs or it proves nothing";
@@ -271,6 +283,24 @@ TEST(StreamingEquivalence, StrictPolicyThrowsInBothPaths) {
   EXPECT_THROW((void)SimulationContext(config).run(0), std::runtime_error);
 }
 
+// Non-lattice topology: the reference pipeline materializes through the
+// same TopologyRegistry, so streaming-vs-materialized equivalence holds on
+// a ring exactly as on the paper's torus (the topology layer adds no
+// hidden draws to either path).
+TEST(StreamingEquivalence, RingTopologyMatchesMaterializedPipeline) {
+  ExperimentConfig config;
+  config.topology_spec = parse_topology_spec("ring(n=300)");
+  config.num_files = 70;
+  config.cache_size = 4;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 1.0;
+  config.seed = 81;
+  for (const char* name : {"nearest", "two-choice(r=6)"}) {
+    config.strategy_spec = parse_strategy_spec(name);
+    expect_equivalent(config, std::string("ring / ") + name, 3);
+  }
+}
+
 // The strategy-side corner cases ride on one config: finite radius with
 // Drop fallback (kInvalidNode drops), (1+β) mixing, and stale snapshots.
 TEST(StreamingEquivalence, StaleBetaAndFallbackDrop) {
@@ -280,11 +310,8 @@ TEST(StreamingEquivalence, StaleBetaAndFallbackDrop) {
   config.cache_size = 3;
   config.popularity.kind = PopularityKind::Zipf;
   config.popularity.gamma = 1.0;
-  config.strategy.kind = StrategyKind::TwoChoice;
-  config.strategy.radius = 2;
-  config.strategy.fallback = FallbackPolicy::Drop;
-  config.strategy.beta = 0.6;
-  config.strategy.stale_batch = 7;
+  config.strategy_spec = parse_strategy_spec(
+      "two-choice(r=2, fallback=drop, beta=0.6, stale=7)");
   config.seed = 80;
   const RunResult result = run_simulation(config, 0);
   EXPECT_GT(result.dropped, 0u) << "radius 2 must provoke fallback drops";

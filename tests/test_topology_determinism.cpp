@@ -1,0 +1,140 @@
+// Golden-master determinism for the non-lattice topologies: each new
+// registry topology (ring / tree / rgg) locks the exact numbers its first
+// run produced when the topology layer landed, and inherits the full seed
+// contract — rerun-stable, thread-pool invariant, and shareable through
+// the rebinding SimulationContext. Uniform popularity keeps every quantity
+// integer-derived and platform-portable (comm_cost is an exact rational).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+
+namespace proxcache {
+namespace {
+
+ExperimentConfig topology_config(const char* topology, const char* strategy) {
+  ExperimentConfig config;
+  config.topology_spec = parse_topology_spec(topology);
+  config.num_files = 60;
+  config.cache_size = 5;
+  config.popularity.kind = PopularityKind::Uniform;
+  config.strategy_spec = parse_strategy_spec(strategy);
+  config.seed = 0x70F0;
+  return config;
+}
+
+struct Golden {
+  const char* topology;
+  const char* strategy;
+  Load max_load;
+  std::uint64_t requests;
+  std::uint64_t fallbacks;
+  double comm_cost;
+};
+
+// The acceptance gate of the topology layer: these values were produced by
+// the first run of each (topology, strategy) cell and must never change.
+constexpr Golden kGoldens[] = {
+    {"ring(n=400)", "nearest", 5, 400, 0, 6.415},
+    {"ring(n=400)", "two-choice(r=5)", 4, 400, 173, 7.0750000000000002},
+    {"tree(branching=3, depth=4)", "nearest", 5, 121, 0,
+     2.884297520661157},
+    {"tree(branching=3, depth=4)", "two-choice(r=5)", 4, 121, 4,
+     3.7768595041322315},
+    {"rgg(n=256, radius=0.12, seed=9)", "nearest", 5, 256, 0, 1.4921875},
+    {"rgg(n=256, radius=0.12, seed=9)", "two-choice(r=5)", 3, 256, 0,
+     3.35546875},
+};
+
+TEST(TopologyDeterminism, GoldenMastersForEveryNewTopology) {
+  for (const Golden& golden : kGoldens) {
+    const ExperimentConfig config =
+        topology_config(golden.topology, golden.strategy);
+    const RunResult result = run_simulation(config, 0);
+    const std::string label =
+        std::string(golden.topology) + " / " + golden.strategy;
+    EXPECT_EQ(result.max_load, golden.max_load) << label;
+    EXPECT_EQ(result.requests, golden.requests) << label;
+    EXPECT_EQ(result.fallbacks, golden.fallbacks) << label;
+    EXPECT_EQ(result.resampled, 0u) << label;
+    EXPECT_EQ(result.dropped, 0u) << label;
+    EXPECT_DOUBLE_EQ(result.comm_cost, golden.comm_cost) << label;
+  }
+}
+
+TEST(TopologyDeterminism, RerunAndContextReuseAreStable) {
+  for (const char* topology :
+       {"ring(n=400)", "tree(branching=3, depth=4)",
+        "rgg(n=256, radius=0.12, seed=9)"}) {
+    const ExperimentConfig config =
+        topology_config(topology, "two-choice(r=5)");
+    const SimulationContext context(config);
+    const RunResult first = context.run(0);
+    (void)context.run(1);  // interleaved runs must not perturb run 0
+    const RunResult again = context.run(0);
+    EXPECT_EQ(first.max_load, again.max_load) << topology;
+    EXPECT_EQ(first.comm_cost, again.comm_cost) << topology;
+    // The one-shot entry point agrees with the shared context.
+    const RunResult oneshot = run_simulation(config, 0);
+    EXPECT_EQ(first.max_load, oneshot.max_load) << topology;
+    EXPECT_EQ(first.comm_cost, oneshot.comm_cost) << topology;
+  }
+}
+
+TEST(TopologyDeterminism, PoolInvarianceOnNonLatticeTopologies) {
+  for (const char* topology :
+       {"ring(n=400)", "rgg(n=256, radius=0.12, seed=9)"}) {
+    const ExperimentConfig config = topology_config(topology, "two-choice");
+    const std::size_t runs = 4;
+    const ExperimentResult sequential =
+        run_experiment(config, runs, nullptr);
+    ThreadPool quad(4);
+    const ExperimentResult threaded = run_experiment(config, runs, &quad);
+    EXPECT_EQ(sequential.max_load.mean(), threaded.max_load.mean())
+        << topology;
+    EXPECT_EQ(sequential.comm_cost.mean(), threaded.comm_cost.mean())
+        << topology;
+    EXPECT_EQ(sequential.pooled_load_histogram.counts(),
+              threaded.pooled_load_histogram.counts())
+        << topology;
+  }
+}
+
+TEST(TopologyDeterminism, RebindingContextSharesTheMaterializedTopology) {
+  // The scenario × strategy matrix fast path: rebinding must reuse the
+  // (potentially expensive) topology and stay bit-identical to a fresh
+  // context per cell.
+  const ExperimentConfig base =
+      topology_config("rgg(n=256, radius=0.12, seed=9)", "nearest");
+  const SimulationContext shared(base);
+  for (const char* strategy :
+       {"nearest", "two-choice(r=5)", "least-loaded(r=8)"}) {
+    const SimulationContext rebound(shared, parse_strategy_spec(strategy));
+    EXPECT_EQ(&rebound.topology(), &shared.topology())
+        << "rebinding must not rebuild the topology";
+    ExperimentConfig fresh = base;
+    fresh.strategy_spec = parse_strategy_spec(strategy);
+    const RunResult a = rebound.run(0);
+    const RunResult b = SimulationContext(fresh).run(0);
+    EXPECT_EQ(a.max_load, b.max_load) << strategy;
+    EXPECT_EQ(a.comm_cost, b.comm_cost) << strategy;
+    EXPECT_EQ(a.requests, b.requests) << strategy;
+  }
+}
+
+TEST(TopologyDeterminism, HotspotOriginsComposeWithNonLatticeTopologies) {
+  // The hotspot disc anchors at central_node() on every topology; the run
+  // must stay total and deterministic (ring: a contiguous arc of origins).
+  ExperimentConfig config = topology_config("ring(n=200)", "two-choice(r=4)");
+  config.origins.kind = OriginKind::Hotspot;
+  config.origins.hotspot_fraction = 0.7;
+  config.origins.hotspot_radius = 3;
+  const RunResult a = run_simulation(config, 0);
+  const RunResult b = run_simulation(config, 0);
+  EXPECT_EQ(a.requests, 200u);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.comm_cost, b.comm_cost);
+}
+
+}  // namespace
+}  // namespace proxcache
