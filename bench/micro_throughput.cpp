@@ -10,14 +10,23 @@
 //   $ ./micro_throughput                      # 10M streamed requests/strategy
 //   $ ./micro_throughput --requests 2000000   # faster CI setting
 //   $ ./micro_throughput --topology "ring(n=4096)"   # non-lattice network
+//   $ ./micro_throughput --threads 8          # + sharded-engine rows
+//
+// With `--threads N` (N >= 2) every strategy gets a second, sharded row —
+// the split-phase engine at width N — plus its speedup over the serial row
+// measured in the same process. The JSON records `host_cores` next to every
+// figure: a speedup is only meaningful relative to the cores the host
+// actually had (a 1-core container will honestly report ~1x).
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/request.hpp"
 #include "core/simulation.hpp"
+#include "parallel/sharded_runner.hpp"
 #include "util/cli.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
@@ -29,9 +38,12 @@ using namespace proxcache;
 
 struct ThroughputRow {
   std::string strategy;
+  std::uint32_t threads = 1;
   std::uint64_t requests = 0;
   double seconds = 0.0;
   double requests_per_sec = 0.0;
+  double speedup_vs_serial = 1.0;
+  std::uint64_t batches = 0;
   Load max_load = 0;
   double comm_cost = 0.0;
 };
@@ -48,6 +60,10 @@ int main(int argc, char** argv) {
   args.add_int("files", 500, "catalog size K");
   args.add_int("cache", 10, "cache slots M per server");
   args.add_int("seed", 0x5EED, "root seed");
+  args.add_int("threads", 1,
+               "engine width: 1 benches only the serial loop; >= 2 adds a "
+               "sharded-engine row per strategy");
+  args.add_int("batch", 4096, "sharded engine batch size");
   args.add_string("topology", "",
                   "topology spec, e.g. 'ring(n=4096)' or "
                   "'rgg(n=4096, radius=0.03, seed=1)' (empty = torus of n "
@@ -65,13 +81,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  for (const char* name : {"requests", "n", "files", "cache"}) {
+  for (const char* name : {"requests", "n", "files", "cache", "threads",
+                           "batch"}) {
     if (args.get_int(name) <= 0) {
       std::cerr << "--" << name << " must be positive\n";
       return 2;
     }
   }
   const auto requests = static_cast<std::size_t>(args.get_int("requests"));
+  const auto threads = static_cast<std::uint32_t>(args.get_int("threads"));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
   ExperimentConfig base;
   base.num_nodes = static_cast<std::size_t>(args.get_int("n"));
   base.num_files = static_cast<std::size_t>(args.get_int("files"));
@@ -99,11 +118,18 @@ int main(int argc, char** argv) {
 
   // Warm up per-run state (placement, replica index, one short trace) so
   // the RSS baseline already contains every O(num_nodes) allocation the
-  // timed runs make; any growth beyond it would scale with the trace.
+  // timed runs make; any growth beyond it would scale with the trace. When
+  // sharded rows are requested, warm the engine too (worker pool, batch
+  // buffers, per-lane arenas — all O(batch), none O(trace)).
   {
     ExperimentConfig warmup = base;
     warmup.num_requests = 0;  // n requests
     (void)SimulationContext(warmup).run(0);
+    if (threads >= 2) {
+      warmup.threads = threads;
+      warmup.shard_batch = batch;
+      (void)SimulationContext(warmup).run(0);
+    }
   }
   const std::uint64_t rss_before = peak_rss_bytes();
 
@@ -117,8 +143,18 @@ int main(int argc, char** argv) {
   };
 
   std::vector<ThroughputRow> rows;
-  Table table({"strategy", "requests", "seconds", "req/s", "max load",
-               "comm cost"});
+  Table table({"strategy", "threads", "requests", "seconds", "req/s",
+               "speedup", "max load", "comm cost"});
+  const auto add_row = [&](const ThroughputRow& row) {
+    rows.push_back(row);
+    table.add_row({Cell(row.strategy),
+                   Cell(static_cast<double>(row.threads), 0),
+                   Cell(static_cast<double>(row.requests), 0),
+                   Cell(row.seconds, 3), Cell(row.requests_per_sec, 0),
+                   Cell(row.speedup_vs_serial, 2),
+                   Cell(static_cast<double>(row.max_load), 0),
+                   Cell(row.comm_cost, 3)});
+  };
   // One base context for the whole sweep: the strategy cells rebind onto
   // it so the topology (an O(n^2) all-pairs BFS for graph-backed specs) is
   // materialized once, not once per strategy.
@@ -127,19 +163,40 @@ int main(int argc, char** argv) {
     const SimulationContext context(shared, parse_strategy_spec(entry));
     WallTimer timer;
     const RunResult result = context.run(0);
-    ThroughputRow row;
-    row.strategy = entry;
-    row.requests = requests;
-    row.seconds = timer.seconds();
-    row.requests_per_sec =
-        row.seconds > 0.0 ? static_cast<double>(requests) / row.seconds : 0.0;
-    row.max_load = result.max_load;
-    row.comm_cost = result.comm_cost;
-    rows.push_back(row);
-    table.add_row({Cell(row.strategy), Cell(static_cast<double>(requests), 0),
-                   Cell(row.seconds, 3), Cell(row.requests_per_sec, 0),
-                   Cell(static_cast<double>(row.max_load), 0),
-                   Cell(row.comm_cost, 3)});
+    ThroughputRow serial;
+    serial.strategy = entry;
+    serial.requests = requests;
+    serial.seconds = timer.seconds();
+    serial.requests_per_sec =
+        serial.seconds > 0.0 ? static_cast<double>(requests) / serial.seconds
+                             : 0.0;
+    serial.max_load = result.max_load;
+    serial.comm_cost = result.comm_cost;
+    add_row(serial);
+
+    if (threads >= 2) {
+      ShardStats stats;
+      WallTimer sharded_timer;
+      const RunResult sharded_result =
+          ShardedRunner(context, {threads, batch}).run(0, &stats);
+      ThroughputRow sharded;
+      sharded.strategy = entry;
+      sharded.threads = threads;
+      sharded.requests = requests;
+      sharded.seconds = sharded_timer.seconds();
+      sharded.requests_per_sec =
+          sharded.seconds > 0.0
+              ? static_cast<double>(requests) / sharded.seconds
+              : 0.0;
+      sharded.speedup_vs_serial =
+          serial.requests_per_sec > 0.0
+              ? sharded.requests_per_sec / serial.requests_per_sec
+              : 0.0;
+      sharded.batches = stats.batches;
+      sharded.max_load = sharded_result.max_load;
+      sharded.comm_cost = sharded_result.comm_cost;
+      add_row(sharded);
+    }
   }
   table.print(std::cout);
   std::cout << '\n';
@@ -175,6 +232,10 @@ int main(int argc, char** argv) {
          << "  \"cache_size\": " << base.cache_size << ",\n"
          << "  \"requests_per_run\": " << requests << ",\n"
          << "  \"seed\": " << base.seed << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"shard_batch\": " << batch << ",\n"
+         << "  \"host_cores\": " << std::thread::hardware_concurrency()
+         << ",\n"
          << "  \"peak_rss_bytes\": " << rss_peak << ",\n"
          << "  \"rss_growth_bytes\": " << rss_growth << ",\n"
          << "  \"materialized_trace_bytes\": " << materialized_bytes << ",\n"
@@ -182,9 +243,12 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const ThroughputRow& row = rows[i];
       json << "    {\"strategy\": \"" << row.strategy << "\", "
+           << "\"threads\": " << row.threads << ", "
            << "\"requests\": " << row.requests << ", "
            << "\"seconds\": " << row.seconds << ", "
            << "\"requests_per_sec\": " << row.requests_per_sec << ", "
+           << "\"speedup_vs_serial\": " << row.speedup_vs_serial << ", "
+           << "\"batches\": " << row.batches << ", "
            << "\"max_load\": " << row.max_load << ", "
            << "\"comm_cost\": " << row.comm_cost << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -63,7 +63,13 @@ int main(int argc, char** argv) {
   args.add_int("files", 0, "override catalog size K (0 = preset)");
   args.add_int("cache", 0, "override cache slots M (0 = preset)");
   args.add_int("requests", 0, "override requests per run (0 = n requests)");
-  args.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  args.add_int("threads", 0,
+               "replication-pool workers, one run per task (0 = hardware "
+               "concurrency)");
+  args.add_int("run-threads", 1,
+               "engine width *within* each run: >= 2 routes runs through "
+               "the sharded split-phase engine (its own seed contract; see "
+               "parallel/sharded_runner.hpp)");
   args.add_flag("csv", "emit CSV instead of an aligned table");
   try {
     args.parse(argc, argv);
@@ -202,6 +208,10 @@ int main(int argc, char** argv) {
       if (args.get_int("requests") > 0) {
         config.num_requests =
             static_cast<std::size_t>(args.get_int("requests"));
+      }
+      if (args.get_int("run-threads") > 1) {
+        config.threads =
+            static_cast<std::uint32_t>(args.get_int("run-threads"));
       }
       // One base context per (scenario, topology), riding on the cached
       // topology; popularity is built once per scenario and shared by

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over micro_throughput's BENCH_throughput.json.
+
+Compares a freshly produced bench file against the baseline committed at the
+repo root, matching rows on (strategy, threads):
+
+  * every baseline row must still exist in the fresh file;
+  * no matched row's requests_per_sec may drop by more than --tolerance
+    (default 0.30, i.e. fail on a >30% drop);
+  * with --min-speedup S, every strategy's sharded row in the *fresh* file
+    must reach at least S x its own serial row — a same-process, same-machine
+    ratio, so it is meaningful across host generations. The check is skipped
+    (with a notice) when the fresh host had fewer cores than the engine width,
+    because a speedup is physically impossible there; pass
+    --require-cores 0 to force it anyway.
+
+Absolute req/s figures move with the host, so CI should pin runner types or
+widen --tolerance rather than chase machine noise. Only the Python standard
+library is used.
+
+Exit status: 0 clean, 1 regression found, 2 bad invocation or input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path: str) -> tuple[dict, dict[tuple[str, int], dict]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read bench file {path!r}: {error}")
+    rows = {}
+    for row in doc.get("results", []):
+        key = (row["strategy"], int(row.get("threads", 1)))
+        if key in rows:
+            sys.exit(f"error: duplicate row {key} in {path!r}")
+        rows[key] = row
+    if not rows:
+        sys.exit(f"error: no result rows in {path!r}")
+    return doc, rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when micro_throughput regressed vs the committed baseline"
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("--fresh", required=True,
+                        help="bench file produced by this build")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max fractional req/s drop per matched row "
+                             "(default: 0.30)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="min sharded-vs-serial speedup each strategy "
+                             "must reach in the fresh file (default: off)")
+    parser.add_argument("--require-cores", type=int, default=None,
+                        help="skip the --min-speedup check unless the fresh "
+                             "host reported at least this many cores "
+                             "(default: the fresh file's engine width)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    _, baseline = load_rows(args.baseline)
+    fresh_doc, fresh = load_rows(args.fresh)
+    failures = []
+
+    for key, base_row in sorted(baseline.items()):
+        strategy, threads = key
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            failures.append(f"missing row: {strategy} threads={threads}")
+            continue
+        base_rps = float(base_row["requests_per_sec"])
+        fresh_rps = float(fresh_row["requests_per_sec"])
+        drop = 1.0 - fresh_rps / base_rps if base_rps > 0 else 0.0
+        marker = "FAIL" if drop > args.tolerance else "ok"
+        print(f"[{marker}] {strategy} threads={threads}: "
+              f"{base_rps:,.0f} -> {fresh_rps:,.0f} req/s "
+              f"({-drop:+.1%} vs baseline, tolerance -{args.tolerance:.0%})")
+        if drop > args.tolerance:
+            failures.append(
+                f"{strategy} threads={threads}: req/s dropped {drop:.1%} "
+                f"(> {args.tolerance:.0%})")
+
+    if args.min_speedup is not None:
+        width = int(fresh_doc.get("threads", 1))
+        host_cores = int(fresh_doc.get("host_cores", 0))
+        need_cores = args.require_cores if args.require_cores is not None else width
+        if width < 2:
+            print("[skip] --min-speedup: fresh file has no sharded rows "
+                  "(threads < 2)")
+        elif host_cores and host_cores < need_cores:
+            print(f"[skip] --min-speedup: fresh host had {host_cores} core(s) "
+                  f"for an engine width of {width}; a parallel speedup is "
+                  f"not measurable here")
+        else:
+            for (strategy, threads), row in sorted(fresh.items()):
+                if threads < 2:
+                    continue
+                speedup = float(row.get("speedup_vs_serial", 0.0))
+                marker = "FAIL" if speedup < args.min_speedup else "ok"
+                print(f"[{marker}] {strategy} threads={threads}: "
+                      f"speedup {speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+                if speedup < args.min_speedup:
+                    failures.append(
+                        f"{strategy} threads={threads}: sharded speedup "
+                        f"{speedup:.2f}x below floor {args.min_speedup:.2f}x")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench check clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,10 @@ void ExperimentConfig::validate() const {
       TopologyRegistry::global().with_defaults(resolved_topology());
   PROXCACHE_REQUIRE(num_files >= 1, "num_files must be >= 1");
   PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
+  PROXCACHE_REQUIRE(threads >= 1 && threads <= 1024,
+                    "threads must be in [1, 1024]");
+  PROXCACHE_REQUIRE(shard_batch >= 1 && shard_batch <= (1u << 22),
+                    "shard_batch must be in [1, 2^22]");
   StrategyRegistry::global().validate(resolved_strategy());
   if (popularity.kind == PopularityKind::Zipf) {
     PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
@@ -136,6 +140,7 @@ std::string ExperimentConfig::describe() const {
     os << "trace=" << to_string(trace.kind) << " ";
   }
   os << "strategy=" << resolved_strategy().to_string();
+  if (threads > 1) os << " threads=" << threads;
   return os.str();
 }
 

@@ -96,6 +96,21 @@ struct ExperimentConfig {
   /// defaults applies.
   StrategySpec strategy_spec;
   std::uint64_t seed = 0x5EED;
+  /// Execution engine selector. `1` (default) runs the historical serial
+  /// request loop; `>= 2` runs the sharded split-phase engine
+  /// (src/parallel/sharded_runner.hpp) on that many threads. The two
+  /// engines are *each* fully deterministic but follow different
+  /// strategy-randomness contracts: the serial loop draws one sequential
+  /// strategy stream, while the sharded engine pins an independent stream
+  /// per request (`derive_seed(seed, {run, kStrategy, request_index})`) so
+  /// proposals can run on any thread. Consequently every `threads >= 2`
+  /// value (and every `shard_batch`) yields bit-identical results to every
+  /// other, but not to `threads = 1`.
+  std::uint32_t threads = 1;
+  /// Requests per pipeline batch of the sharded engine (`threads >= 2`).
+  /// Pure throughput/memory dial — results are bit-identical across all
+  /// values (locked by tests/test_sharded_equivalence.cpp).
+  std::size_t shard_batch = 4096;
 
   /// The node count actually in effect: the topology registry's count for
   /// `topology_spec` when set, otherwise `num_nodes`.

@@ -11,12 +11,18 @@
 namespace proxcache {
 
 /// Strategy I. Holds a reference to the query index (which must outlive it).
-class NearestReplicaStrategy final : public Strategy {
+/// Split-phase trivially: load-oblivious, so the whole decision happens in
+/// `propose` and `choose` only replays it.
+class NearestReplicaStrategy final : public SplitPhaseStrategy {
  public:
   explicit NearestReplicaStrategy(const ReplicaIndex& index) : index_(&index) {}
 
-  Assignment assign(const Request& request, const LoadView& loads,
-                    Rng& rng) override;
+  void propose(const Request& request, Rng& rng, CandidateArena& arena,
+               Proposal& out) override;
+  [[nodiscard]] Assignment choose(const Request& request,
+                                  const Proposal& proposal,
+                                  CandidateArena& arena, const LoadView& loads,
+                                  Rng& rng) const override;
 
   [[nodiscard]] std::string name() const override { return "nearest-replica"; }
 

@@ -1,15 +1,10 @@
 #include "core/simulation.hpp"
 
-#include <algorithm>
 #include <memory>
 
-#include "core/metrics.hpp"
 #include "core/request.hpp"
-#include "core/stale_view.hpp"
-#include "random/seeding.hpp"
-#include "scenario/trace_source.hpp"
-#include "spatial/replica_index.hpp"
-#include "strategy/registry.hpp"
+#include "core/run_harness.hpp"
+#include "parallel/sharded_runner.hpp"
 #include "topology/registry.hpp"
 #include "util/contracts.hpp"
 
@@ -59,96 +54,22 @@ SimulationContext::SimulationContext(const ExperimentConfig& config,
 }
 
 RunResult SimulationContext::run(std::uint64_t run_index) const {
-  // Resolved once at construction (effective_requests() would re-resolve
-  // the topology spec through the registry on every replication).
-  const std::size_t horizon = horizon_;
-
-  Rng placement_rng(
-      derive_seed(config_.seed, {run_index, seed_phase::kPlacement}));
-  const Placement placement =
-      Placement::generate(config_.num_nodes, popularity_, config_.cache_size,
-                          config_.placement_mode, placement_rng);
-
-  Rng trace_rng(derive_seed(config_.seed, {run_index, seed_phase::kTrace}));
-  const std::unique_ptr<TraceSource> source =
-      make_trace_source(config_, *topology_, popularity_, horizon);
-
-  // Repair-stream contract: the materialized pipeline drew all Resample
-  // repairs *after* the full generation sequence, on the one trace-phase
-  // stream. When the placement leaves files uncached, advance a scout copy
-  // of that stream through the whole generation sequence to find the repair
-  // start state (a second source instance replays the identical request
-  // sequence — all generator state is deterministic in the rng). With full
-  // coverage no repair draw ever happens, so the scout pass is skipped.
-  Rng repair_rng = trace_rng;
-  if (config_.missing == MissingFilePolicy::Resample &&
-      placement.files_with_replicas() < config_.num_files) {
-    const std::unique_ptr<TraceSource> scout =
-        make_trace_source(config_, *topology_, popularity_, horizon);
-    for (std::size_t i = 0; i < horizon; ++i) {
-      (void)scout->next(repair_rng);
-    }
+  // Engine dispatch: `threads >= 2` hands the run to the sharded
+  // split-phase engine (its own deterministic seed contract; see
+  // parallel/sharded_runner.hpp). `threads == 1` stays the historical
+  // serial loop below, bit-identical to every result ever produced by it.
+  if (config_.threads >= 2) {
+    return ShardedRunner(*this, {config_.threads, config_.shard_batch})
+        .run(run_index);
   }
-  SanitizingTraceSource sanitized(*source, horizon, placement, popularity_,
-                                  config_.missing, repair_rng);
 
-  // Every strategy — the paper pair and any extension registered on the
-  // global catalog — is constructed by the open registry from the resolved
-  // spec; there is no enum dispatch. `with_defaults` validates and fills
-  // unset parameters from the registry rules (so the `stale` read below
-  // sees the entry's declared default), after which the entry's factory is
-  // invoked directly — replications pay for one validation pass, not two.
-  const ReplicaIndex index(*topology_, placement);
-  const StrategyRegistry& registry = StrategyRegistry::global();
-  const StrategySpec spec =
-      registry.with_defaults(config_.resolved_strategy());
-  const std::unique_ptr<Strategy> strategy =
-      registry.at(spec.name).factory(spec, index, *topology_, config_);
-
-  Rng strategy_rng(
-      derive_seed(config_.seed, {run_index, seed_phase::kStrategy}));
-  LoadTracker tracker(config_.num_nodes);
-  // Stale-information model (§VI): the strategy compares loads from a
-  // periodically refreshed snapshot instead of the live tracker. `stale` is
-  // a universal spec parameter because the snapshot wraps the LoadView
-  // outside the strategy proper.
-  const auto stale_batch =
-      static_cast<std::uint32_t>(spec.get_or("stale", 1.0));
-  std::unique_ptr<StaleLoadView> stale;
-  if (stale_batch > 1) {
-    stale = std::make_unique<StaleLoadView>(tracker, stale_batch);
-  }
-  const LoadView& load_view = stale ? static_cast<const LoadView&>(*stale)
-                                    : static_cast<const LoadView&>(tracker);
+  RunHarness harness(*this, run_index);
   Request request;
-  while (sanitized.try_next(trace_rng, request)) {
-    const Assignment assignment =
-        strategy->assign(request, load_view, strategy_rng);
-    if (assignment.fallback) tracker.note_fallback();
-    if (assignment.server == kInvalidNode) {
-      tracker.drop();
-      continue;
-    }
-    tracker.assign(assignment.server, assignment.hops);
-    if (stale) stale->on_assignment(tracker.assigned());
+  while (harness.sanitized.try_next(harness.trace_rng, request)) {
+    harness.commit(harness.strategy->assign(request, *harness.load_view,
+                                            harness.strategy_rng));
   }
-  const SanitizeStats& sanitize = sanitized.stats();
-
-  RunResult result;
-  result.max_load = tracker.max_load();
-  result.comm_cost = tracker.comm_cost();
-  result.requests = tracker.assigned();
-  result.fallbacks = tracker.fallbacks();
-  result.resampled = sanitize.resampled;
-  result.dropped = sanitize.dropped + tracker.dropped();
-  result.load_histogram = tracker.load_histogram();
-  result.placement_min_distinct = placement.distinct_count(0);
-  for (NodeId u = 0; u < placement.num_nodes(); ++u) {
-    result.placement_min_distinct =
-        std::min(result.placement_min_distinct, placement.distinct_count(u));
-  }
-  result.files_with_replicas = placement.files_with_replicas();
-  return result;
+  return harness.finalize();
 }
 
 RunResult run_simulation(const ExperimentConfig& config,

@@ -70,9 +70,14 @@ class SimulationContext {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] const Popularity& popularity() const { return popularity_; }
+  /// `config().effective_requests()`, resolved once at construction.
+  [[nodiscard]] std::size_t horizon() const { return horizon_; }
 
   /// Execute replication `run_index` with the streaming request loop.
-  /// Bit-identical to the historical materialize-then-iterate pipeline.
+  /// `config().threads == 1`: the historical serial loop, bit-identical to
+  /// the materialize-then-iterate pipeline. `threads >= 2`: dispatches to
+  /// the sharded split-phase engine (src/parallel/sharded_runner.hpp),
+  /// deterministic across thread counts under its own seed contract.
   [[nodiscard]] RunResult run(std::uint64_t run_index) const;
 
  private:

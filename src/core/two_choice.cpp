@@ -104,10 +104,10 @@ std::uint32_t TwoChoiceStrategy::sample_candidates(NodeId origin, FileId file,
   return static_cast<std::uint32_t>(sample.size());
 }
 
-Assignment TwoChoiceStrategy::assign(const Request& request,
-                                     const LoadView& loads, Rng& rng) {
+void TwoChoiceStrategy::propose(const Request& request, Rng& rng,
+                                CandidateArena& arena, Proposal& out) {
   const Topology& topology = index_->topology();
-  Assignment assignment;
+  out.first = static_cast<std::uint32_t>(arena.size());
 
   NodeId candidates[8];
   Hop radius = options_.radius;
@@ -124,20 +124,23 @@ Assignment TwoChoiceStrategy::assign(const Request& request,
 
   while (found == 0) {
     // Fallback paths; the paper's good regime makes these measure-zero, but
-    // the simulator must be total.
-    assignment.fallback = true;
+    // the simulator must be total. All of them are load-independent, so the
+    // whole ladder lives in the propose phase.
+    out.fallback = true;
     switch (options_.fallback) {
       case FallbackPolicy::Drop:
-        return assignment;  // invalid server signals the drop
+        out.decided = true;  // invalid server signals the drop
+        return;
       case FallbackPolicy::NearestReplica: {
         const NearestResult nearest =
             index_->nearest(request.origin, request.file, rng);
         PROXCACHE_CHECK(nearest.server != kInvalidNode,
                         "uncached file reached the strategy; "
                         "sanitize_trace must run first");
-        assignment.server = nearest.server;
-        assignment.hops = nearest.distance;
-        return assignment;
+        out.decided = true;
+        out.server = nearest.server;
+        out.hops = nearest.distance;
+        return;
       }
       case FallbackPolicy::ExpandRadius: {
         const Hop diameter = topology.diameter();
@@ -158,23 +161,45 @@ Assignment TwoChoiceStrategy::assign(const Request& request,
     observer_(std::span<const NodeId>(candidates, found));
   }
 
+  for (std::uint32_t i = 0; i < found; ++i) {
+    arena.push_back({candidates[i],
+                     topology.distance(request.origin, candidates[i]), 0.0});
+  }
+  out.count = found;
+}
+
+Assignment TwoChoiceStrategy::choose(const Request& request,
+                                     const Proposal& proposal,
+                                     CandidateArena& arena,
+                                     const LoadView& loads, Rng& rng) const {
+  (void)request;
+  if (proposal.decided) return decided_assignment(proposal);
+  Assignment assignment;
+  assignment.fallback = proposal.fallback;
+
   // Least-loaded candidate, uniform among ties (single-pass reservoir).
-  NodeId chosen = candidates[0];
+  const ProposedCandidate* candidates = arena.data() + proposal.first;
+  NodeId chosen = candidates[0].node;
+  Hop hops = candidates[0].hops;
   Load best = loads.load(chosen);
   std::uint32_t ties = 1;
-  for (std::uint32_t i = 1; i < found; ++i) {
-    const Load load = loads.load(candidates[i]);
+  for (std::uint32_t i = 1; i < proposal.count; ++i) {
+    const Load load = loads.load(candidates[i].node);
     if (load < best) {
       best = load;
-      chosen = candidates[i];
+      chosen = candidates[i].node;
+      hops = candidates[i].hops;
       ties = 1;
     } else if (load == best) {
       ++ties;
-      if (rng.below(ties) == 0) chosen = candidates[i];
+      if (rng.below(ties) == 0) {
+        chosen = candidates[i].node;
+        hops = candidates[i].hops;
+      }
     }
   }
   assignment.server = chosen;
-  assignment.hops = topology.distance(request.origin, chosen);
+  assignment.hops = hops;
   return assignment;
 }
 

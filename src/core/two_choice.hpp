@@ -35,13 +35,19 @@ struct TwoChoiceOptions {
   double beta = 1.0;
 };
 
-/// The proximity-aware d-choice strategy.
-class TwoChoiceStrategy final : public Strategy {
+/// The proximity-aware d-choice strategy. Split-phase: the (1+β) draw,
+/// candidate sampling, fallback handling and per-candidate distances all
+/// happen in `propose`; `choose` is just the d-way min-load comparison.
+class TwoChoiceStrategy final : public SplitPhaseStrategy {
  public:
   TwoChoiceStrategy(const ReplicaIndex& index, TwoChoiceOptions options);
 
-  Assignment assign(const Request& request, const LoadView& loads,
-                    Rng& rng) override;
+  void propose(const Request& request, Rng& rng, CandidateArena& arena,
+               Proposal& out) override;
+  [[nodiscard]] Assignment choose(const Request& request,
+                                  const Proposal& proposal,
+                                  CandidateArena& arena, const LoadView& loads,
+                                  Rng& rng) const override;
 
   [[nodiscard]] std::string name() const override;
 

@@ -27,14 +27,23 @@ struct LeastLoadedOptions {
 };
 
 /// Probe every in-radius replica, serve the least-loaded, tie-break by
-/// distance then uniformly.
-class LeastLoadedStrategy final : public Strategy {
+/// distance then uniformly. Split-phase: `propose` records the in-radius
+/// enumeration (shell walk / grid probe — the expensive part, no RNG) and
+/// runs the fallback ladder; `choose` replays the streaming min-scan over
+/// the recorded (node, distance) window with the tie-break draws — the
+/// same event order as the historical interleaved pass, because loads
+/// cannot change between the two halves of one request.
+class LeastLoadedStrategy final : public SplitPhaseStrategy {
  public:
   LeastLoadedStrategy(const ReplicaIndex& index, LeastLoadedOptions options)
       : index_(&index), options_(options) {}
 
-  Assignment assign(const Request& request, const LoadView& loads,
-                    Rng& rng) override;
+  void propose(const Request& request, Rng& rng, CandidateArena& arena,
+               Proposal& out) override;
+  [[nodiscard]] Assignment choose(const Request& request,
+                                  const Proposal& proposal,
+                                  CandidateArena& arena, const LoadView& loads,
+                                  Rng& rng) const override;
 
   [[nodiscard]] std::string name() const override;
 

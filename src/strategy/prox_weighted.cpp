@@ -22,8 +22,9 @@ std::string ProxWeightedStrategy::name() const {
   return os.str();
 }
 
-Assignment ProxWeightedStrategy::assign(const Request& request,
-                                        const LoadView& loads, Rng& rng) {
+void ProxWeightedStrategy::propose(const Request& request, Rng& rng,
+                                   CandidateArena& arena, Proposal& out) {
+  (void)rng;  // weight computation is deterministic; draws happen in choose
   const Topology& topology = index_->topology();
   const auto replicas = index_->placement().replicas(request.file);
   const std::size_t count = replicas.size();
@@ -31,56 +32,76 @@ Assignment ProxWeightedStrategy::assign(const Request& request,
                   "uncached file reached the strategy; "
                   "sanitize_trace must run first");
 
-  Assignment assignment;
   // Weight every replica by (1 + dist)^-alpha; the +1 keeps a co-located
-  // replica (dist 0) at finite weight.
-  weights_.resize(count);
+  // replica (dist 0) at finite weight. The left-to-right summation order
+  // matches the historical pass, so `total_weight` is the bit-identical
+  // double.
+  out.first = static_cast<std::uint32_t>(arena.size());
   double total = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
     const Hop d = topology.distance(request.origin, replicas[i]);
     const double w =
         std::pow(1.0 + static_cast<double>(d), -options_.alpha);
-    weights_[i] = w;
+    arena.push_back({replicas[i], d, w});
     total += w;
   }
+  out.count = static_cast<std::uint32_t>(count);
+  out.total_weight = total;
+}
+
+Assignment ProxWeightedStrategy::choose(const Request& request,
+                                        const Proposal& proposal,
+                                        CandidateArena& arena,
+                                        const LoadView& loads,
+                                        Rng& rng) const {
+  (void)request;
+  Assignment assignment;
+  assignment.fallback = proposal.fallback;
 
   // Draw up to d distinct candidates by repeated weighted selection,
-  // zeroing each winner's weight. O(d·|S_j|), matching the cost of the
+  // zeroing each winner's weight in the arena window (the window is this
+  // request's scratch). O(d·|S_j|), matching the cost of the
   // radius-constrained reservoir pass in Strategy II.
-  const std::uint32_t want =
-      static_cast<std::uint32_t>(std::min<std::size_t>(options_.num_choices,
-                                                       count));
+  ProposedCandidate* candidates = arena.data() + proposal.first;
+  const std::uint32_t count = proposal.count;
+  double total = proposal.total_weight;
+  const std::uint32_t want = std::min(options_.num_choices, count);
   NodeId chosen = kInvalidNode;
+  Hop chosen_hops = 0;
   Load best = 0;
   std::uint32_t ties = 0;
   for (std::uint32_t pick = 0; pick < want; ++pick) {
     double u = rng.uniform() * total;
-    std::size_t winner = count;  // last positive weight wins on rounding
-    for (std::size_t i = 0; i < count; ++i) {
-      if (weights_[i] <= 0.0) continue;
+    std::uint32_t winner = count;  // last positive weight wins on rounding
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (candidates[i].weight <= 0.0) continue;
       winner = i;
-      u -= weights_[i];
+      u -= candidates[i].weight;
       if (u < 0.0) break;
     }
     PROXCACHE_CHECK(winner < count, "weighted draw found no candidate");
-    total -= weights_[winner];
-    weights_[winner] = 0.0;
+    total -= candidates[winner].weight;
+    candidates[winner].weight = 0.0;
 
     // Least-loaded among the sampled set, uniform among ties — streamed so
     // no candidate array is needed.
-    const NodeId v = replicas[winner];
+    const NodeId v = candidates[winner].node;
     const Load load = loads.load(v);
     if (pick == 0 || load < best) {
       chosen = v;
+      chosen_hops = candidates[winner].hops;
       best = load;
       ties = 1;
     } else if (load == best) {
       ++ties;
-      if (rng.below(ties) == 0) chosen = v;
+      if (rng.below(ties) == 0) {
+        chosen = v;
+        chosen_hops = candidates[winner].hops;
+      }
     }
   }
   assignment.server = chosen;
-  assignment.hops = topology.distance(request.origin, chosen);
+  assignment.hops = chosen_hops;
   return assignment;
 }
 

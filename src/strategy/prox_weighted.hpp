@@ -28,20 +28,26 @@ struct ProxWeightedOptions {
 };
 
 /// Sample d replicas with probability ∝ (1+dist)^-alpha, serve the
-/// least-loaded.
-class ProxWeightedStrategy final : public Strategy {
+/// least-loaded. Split-phase: `propose` computes the per-replica distances
+/// and weights (the O(|S_j|) part, RNG-free); `choose` runs the whole
+/// d-pick loop, whose candidate draws and tie-break draws interleave per
+/// pick and therefore must stay together on one stream.
+class ProxWeightedStrategy final : public SplitPhaseStrategy {
  public:
   ProxWeightedStrategy(const ReplicaIndex& index, ProxWeightedOptions options);
 
-  Assignment assign(const Request& request, const LoadView& loads,
-                    Rng& rng) override;
+  void propose(const Request& request, Rng& rng, CandidateArena& arena,
+               Proposal& out) override;
+  [[nodiscard]] Assignment choose(const Request& request,
+                                  const Proposal& proposal,
+                                  CandidateArena& arena, const LoadView& loads,
+                                  Rng& rng) const override;
 
   [[nodiscard]] std::string name() const override;
 
  private:
   const ReplicaIndex* index_;
   ProxWeightedOptions options_;
-  std::vector<double> weights_;  ///< per-call scratch, sized |S_j|
 };
 
 }  // namespace proxcache

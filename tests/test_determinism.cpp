@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "parallel/sharded_runner.hpp"
 #include "scenario/registry.hpp"
 
 namespace proxcache {
@@ -250,6 +251,56 @@ TEST(Determinism, ExtensionStrategiesArePoolInvariant) {
   expect_pool_invariant(config);
   config.strategy_spec = parse_strategy_spec("prox-weighted(d=2, alpha=1.5)");
   expect_pool_invariant(config);
+}
+
+// Golden masters for the *sharded* engine's seed contract (threads >= 2).
+// The sharded path deliberately draws strategy randomness from per-request
+// pinned streams instead of the serial loop's one sequential stream (see
+// parallel/sharded_runner.hpp), so its numbers differ from the serial
+// goldens above — e.g. the hotspot nearest run lands on max_load 13 where
+// the serial stream's tie-breaks landed on 14. What it promises instead:
+// these exact values for every thread count >= 2 and every batch size,
+// forever. A change here means the sharded seed contract broke.
+TEST(Determinism, ShardedSeedContractGoldenMaster) {
+  ExperimentConfig config;  // n=2025, K=500, M=10, seed=0x5EED
+  config.threads = 4;
+  const SimulationContext context(config);
+  const RunResult result = context.run(0);
+  EXPECT_EQ(result.max_load, 3u);
+  EXPECT_EQ(result.requests, 2025u);
+  EXPECT_EQ(result.fallbacks, 0u);
+  EXPECT_EQ(result.resampled, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_DOUBLE_EQ(result.comm_cost, 22.363950617283951);
+
+  // The same numbers from every other engine width and batch size,
+  // including the width-1 inline schedule.
+  for (const ShardedRunOptions options :
+       {ShardedRunOptions{1, 4096}, ShardedRunOptions{2, 256},
+        ShardedRunOptions{8, 37}}) {
+    const RunResult other = ShardedRunner(context, options).run(0);
+    EXPECT_EQ(other.max_load, result.max_load);
+    EXPECT_EQ(other.requests, result.requests);
+    EXPECT_EQ(other.comm_cost, result.comm_cost);
+  }
+
+  // Hotspot + nearest under the sharded contract. The trace (and with it
+  // comm_cost, which nearest fully determines up to replica tie-breaks) is
+  // generated on the identical sequential stream as the serial engine.
+  ExperimentConfig hotspot;
+  hotspot.num_nodes = 1024;
+  hotspot.num_files = 300;
+  hotspot.cache_size = 8;
+  hotspot.origins.kind = OriginKind::Hotspot;
+  hotspot.origins.hotspot_fraction = 0.6;
+  hotspot.origins.hotspot_radius = 4;
+  hotspot.strategy_spec = parse_strategy_spec("nearest");
+  hotspot.seed = 1234;
+  hotspot.threads = 4;
+  const RunResult nearest = SimulationContext(hotspot).run(0);
+  EXPECT_EQ(nearest.max_load, 13u);
+  EXPECT_EQ(nearest.requests, 1024u);
+  EXPECT_DOUBLE_EQ(nearest.comm_cost, 3.9404296875);
 }
 
 // Golden master for the Hotspot origin draw order (bernoulli, then disc or

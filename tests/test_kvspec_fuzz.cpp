@@ -1,0 +1,225 @@
+// Property/fuzz suite for the shared `name(key=value, ...)` grammar
+// (util/kvspec.hpp) through *both* of its clients — strategy specs and
+// topology specs — in one place:
+//
+//  1. seeded random round trips driven by the registries' own parameter
+//     rules (every legal key, values across each rule's range, integral and
+//     symbolic-keyword values, `inf` where the range allows it);
+//  2. raw-grammar round trips over arbitrary names/keys/values (negatives,
+//     exponents, huge integers past the bare-print cutoff);
+//  3. a malformed-input corpus locking the exact error messages — the
+//     parser's diagnostics are API (CLIs print them verbatim), so a rewording
+//     is a breaking change this test makes visible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "random/rng.hpp"
+#include "strategy/registry.hpp"
+#include "strategy/spec.hpp"
+#include "topology/registry.hpp"
+#include "topology/spec.hpp"
+
+namespace proxcache {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Draw a legal value for one rule: integral rules get whole numbers near
+/// the low end of the range (huge ranges stay finite), real rules get a
+/// uniform draw over the (clamped) range, and an unbounded rule
+/// occasionally yields `inf`.
+double draw_value(Rng& rng, double min_value, double max_value,
+                  bool integral) {
+  if (std::isinf(max_value) && rng.below(4) == 0) return kInf;
+  const double lo = min_value;
+  const double hi = std::isinf(max_value)
+                        ? lo + 1000.0
+                        : std::min(max_value, lo + 1.0e9);
+  if (integral) {
+    const double lo_int = std::ceil(lo);
+    const auto span = static_cast<std::uint64_t>(
+        std::min(1000.0, std::floor(hi) - lo_int));
+    return lo_int + static_cast<double>(rng.below(span + 1));
+  }
+  return lo + rng.uniform() * (hi - lo);
+}
+
+// Registry-driven round trips: for every registered strategy, random
+// subsets of its legal parameters with in-range values must survive
+// to_string → parse exactly (doubles bit-equal — the formatter promises
+// round-trip precision).
+TEST(KvSpecFuzz, StrategyRegistryRoundTrips) {
+  Rng rng(0xF022);
+  for (const StrategyEntry& entry : StrategyRegistry::built_ins().all()) {
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      StrategySpec spec;
+      spec.name = entry.name;
+      for (const StrategyParamRule& rule : entry.params) {
+        if (rng.below(2) == 0) continue;  // random subset of keys
+        spec.params[rule.key] =
+            draw_value(rng, rule.min_value, rule.max_value, rule.integral);
+      }
+      const std::string text = spec.to_string();
+      EXPECT_EQ(parse_strategy_spec(text), spec) << text;
+    }
+  }
+}
+
+TEST(KvSpecFuzz, TopologyRegistryRoundTrips) {
+  Rng rng(0xF023);
+  for (const TopologyEntry& entry : TopologyRegistry::built_ins().all()) {
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      TopologySpec spec;
+      spec.name = entry.name;
+      for (const TopologyParamRule& rule : entry.params) {
+        if (rng.below(2) == 0) continue;
+        spec.params[rule.key] =
+            draw_value(rng, rule.min_value, rule.max_value, rule.integral);
+      }
+      const std::string text = spec.to_string();
+      EXPECT_EQ(parse_topology_spec(text), spec) << text;
+    }
+  }
+}
+
+// Raw-grammar round trips past the registries: arbitrary lowercase names
+// and keys, values spanning negatives, exponent-range doubles, integers
+// past the bare-print cutoff, and inf. Both spec kinds share one scanner,
+// so exercising either exercises both; we alternate anyway.
+TEST(KvSpecFuzz, ArbitraryValueRoundTrips) {
+  Rng rng(0xF024);
+  const auto random_word = [&](std::size_t min_len) {
+    static constexpr char alphabet[] = "abcdefghijklmnopqrstuvwxyz";
+    std::string word;
+    const std::size_t len = min_len + rng.below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    return word;
+  };
+  const auto random_value = [&]() -> double {
+    switch (rng.below(5)) {
+      case 0:  // small integer, negative half the time
+        return (rng.below(2) == 0 ? -1.0 : 1.0) *
+               static_cast<double>(rng.below(1000));
+      case 1:  // integer past the bare-print cutoff (1e15)
+        return 1.0e15 + static_cast<double>(rng.below(1u << 20));
+      case 2:  // tiny magnitude (exponent formatting)
+        return (rng.uniform() - 0.5) * 1e-7;
+      case 3:
+        return kInf;
+      default:  // generic double
+        return (rng.uniform() - 0.5) * 2.0e6;
+    }
+  };
+  for (int iteration = 0; iteration < 512; ++iteration) {
+    StrategySpec spec;
+    spec.name = random_word(1);
+    const std::size_t keys = rng.below(4);
+    for (std::size_t k = 0; k < keys; ++k) {
+      spec.params[random_word(1)] = random_value();
+    }
+    const std::string text = spec.to_string();
+    EXPECT_EQ(parse_strategy_spec(text), spec) << text;
+    // The identical grammar backs topology specs.
+    TopologySpec topo;
+    topo.name = spec.name;
+    topo.params = spec.params;
+    EXPECT_EQ(parse_topology_spec(text), topo) << text;
+  }
+}
+
+// Whitespace and case insensitivity; symbolic keywords canonicalize.
+TEST(KvSpecFuzz, WhitespaceCaseAndKeywords) {
+  EXPECT_EQ(parse_strategy_spec("  TWO-CHOICE ( D = 2 , R = Inf )  "),
+            parse_strategy_spec("two-choice(d=2,r=inf)"));
+  const StrategySpec spec =
+      parse_strategy_spec("two-choice(fallback=Drop)");
+  EXPECT_EQ(spec.params.at("fallback"), kSpecFallbackDrop);
+  EXPECT_EQ(spec.to_string(), "two-choice(fallback=drop)");
+  EXPECT_EQ(parse_strategy_spec("two-choice(fallback=2)").to_string(),
+            "two-choice(fallback=drop)");
+}
+
+/// Assert `parse(text)` throws std::invalid_argument with exactly
+/// `expected` — the diagnostics contract.
+template <typename ParseFn>
+void expect_error(ParseFn parse, const std::string& text,
+                  const std::string& expected) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected parse failure for: " << text;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), expected) << text;
+  }
+}
+
+TEST(KvSpecFuzz, MalformedStrategyCorpusLocksMessages) {
+  const auto parse = [](const std::string& text) {
+    return parse_strategy_spec(text);
+  };
+  expect_error(parse, "", "bad strategy spec '': expected a strategy name");
+  expect_error(parse, "(d=2)",
+               "bad strategy spec '(d=2)': expected a strategy name");
+  expect_error(parse, "two-choice]",
+               "bad strategy spec 'two-choice]': unexpected character ']' "
+               "after the strategy name (expected '(')");
+  expect_error(parse, "two-choice(",
+               "bad strategy spec 'two-choice(': expected a parameter key");
+  expect_error(parse, "two-choice(d)",
+               "bad strategy spec 'two-choice(d)': parameter 'd' is missing "
+               "'=value'");
+  expect_error(parse, "two-choice(d=)",
+               "bad strategy spec 'two-choice(d=)': parameter 'd' is missing "
+               "a value");
+  expect_error(parse, "two-choice(d=2, d=3)",
+               "bad strategy spec 'two-choice(d=2, d=3)': duplicate "
+               "parameter 'd'");
+  expect_error(parse, "two-choice(d=zz)",
+               "bad strategy spec 'two-choice(d=zz)': value 'zz' for key 'd' "
+               "is neither a number nor a known keyword");
+  expect_error(parse, "two-choice(d=2",
+               "bad strategy spec 'two-choice(d=2': expected ',' or ')' "
+               "after parameter 'd'");
+  expect_error(parse, "two-choice() tail",
+               "bad strategy spec 'two-choice() tail': trailing characters "
+               "after ')': 't...'");
+}
+
+TEST(KvSpecFuzz, MalformedTopologyCorpusLocksMessages) {
+  const auto parse = [](const std::string& text) {
+    return parse_topology_spec(text);
+  };
+  expect_error(parse, "", "bad topology spec '': expected a topology name");
+  expect_error(parse, "ring n=4",
+               "bad topology spec 'ring n=4': unexpected character 'n' after "
+               "the topology name (expected '(')");
+  expect_error(parse, "ring(n",
+               "bad topology spec 'ring(n': parameter 'n' is missing "
+               "'=value'");
+  expect_error(parse, "ring(n=4)x",
+               "bad topology spec 'ring(n=4)x': trailing characters after "
+               "')': 'x...'");
+  expect_error(parse, "ring(n=4,n=5)",
+               "bad topology spec 'ring(n=4,n=5)': duplicate parameter 'n'");
+}
+
+// Fuzzed malformed inputs: truncating any valid spec string inside the
+// parenthesized section must throw std::invalid_argument (never crash,
+// never accept). This sweeps the scanner's error branches with arbitrary
+// prefixes.
+TEST(KvSpecFuzz, TruncatedSpecsAlwaysThrow) {
+  const std::string full = "two-choice(beta=0.7, d=2, fallback=nearest, r=16)";
+  for (std::size_t len = full.find('(') + 1; len < full.size(); ++len) {
+    const std::string prefix = full.substr(0, len);
+    EXPECT_THROW((void)parse_strategy_spec(prefix), std::invalid_argument)
+        << prefix;
+  }
+}
+
+}  // namespace
+}  // namespace proxcache
