@@ -38,6 +38,7 @@ using namespace proxcache;
 
 struct ThroughputRow {
   std::string strategy;
+  std::string topology;
   std::uint32_t threads = 1;
   std::uint64_t requests = 0;
   double seconds = 0.0;
@@ -46,6 +47,7 @@ struct ThroughputRow {
   std::uint64_t batches = 0;
   Load max_load = 0;
   double comm_cost = 0.0;
+  std::uint64_t peak_rss = 0;  ///< process high-water RSS after this row
 };
 
 }  // namespace
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
                   "servers)");
   args.add_string("json", "BENCH_throughput.json",
                   "output JSON path (empty = skip)");
+  args.add_string_list(
+      "strategy", {},
+      "strategy spec to bench (repeatable; default: nearest, two-choice, "
+      "least-loaded(r=8), prox-weighted(d=2, alpha=1))");
   try {
     args.parse(argc, argv);
   } catch (const CliError& error) {
@@ -133,14 +139,18 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t rss_before = peak_rss_bytes();
 
-  // The paper pair plus the registry's extension strategies, so every
-  // policy has a tracked requests/sec figure.
-  const std::vector<std::string> cases = {
-      "nearest",
-      "two-choice",
-      "least-loaded(r=8)",
-      "prox-weighted(d=2, alpha=1)",
-  };
+  // The paper pair plus the registry's extension strategies by default, so
+  // every policy has a tracked requests/sec figure; --strategy narrows the
+  // sweep (the large-topology rows bench one policy at a time).
+  std::vector<std::string> cases = args.get_string_list("strategy");
+  if (cases.empty()) {
+    cases = {
+        "nearest",
+        "two-choice",
+        "least-loaded(r=8)",
+        "prox-weighted(d=2, alpha=1)",
+    };
+  }
 
   std::vector<ThroughputRow> rows;
   Table table({"strategy", "threads", "requests", "seconds", "req/s",
@@ -156,15 +166,18 @@ int main(int argc, char** argv) {
                    Cell(row.comm_cost, 3)});
   };
   // One base context for the whole sweep: the strategy cells rebind onto
-  // it so the topology (an O(n^2) all-pairs BFS for graph-backed specs) is
-  // materialized once, not once per strategy.
+  // it so the topology (all-pairs BFS below the distance-oracle threshold,
+  // landmark BFS passes above it, for graph-backed specs) is materialized
+  // once, not once per strategy.
   const SimulationContext shared(base);
+  const std::string topology_label = base.resolved_topology().to_string();
   for (const std::string& entry : cases) {
     const SimulationContext context(shared, parse_strategy_spec(entry));
     WallTimer timer;
     const RunResult result = context.run(0);
     ThroughputRow serial;
     serial.strategy = entry;
+    serial.topology = topology_label;
     serial.requests = requests;
     serial.seconds = timer.seconds();
     serial.requests_per_sec =
@@ -172,6 +185,7 @@ int main(int argc, char** argv) {
                              : 0.0;
     serial.max_load = result.max_load;
     serial.comm_cost = result.comm_cost;
+    serial.peak_rss = peak_rss_bytes();
     add_row(serial);
 
     if (threads >= 2) {
@@ -181,6 +195,7 @@ int main(int argc, char** argv) {
           ShardedRunner(context, {threads, batch}).run(0, &stats);
       ThroughputRow sharded;
       sharded.strategy = entry;
+      sharded.topology = topology_label;
       sharded.threads = threads;
       sharded.requests = requests;
       sharded.seconds = sharded_timer.seconds();
@@ -195,6 +210,7 @@ int main(int argc, char** argv) {
       sharded.batches = stats.batches;
       sharded.max_load = sharded_result.max_load;
       sharded.comm_cost = sharded_result.comm_cost;
+      sharded.peak_rss = peak_rss_bytes();
       add_row(sharded);
     }
   }
@@ -243,6 +259,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const ThroughputRow& row = rows[i];
       json << "    {\"strategy\": \"" << row.strategy << "\", "
+           << "\"topology\": \"" << row.topology << "\", "
            << "\"threads\": " << row.threads << ", "
            << "\"requests\": " << row.requests << ", "
            << "\"seconds\": " << row.seconds << ", "
@@ -250,7 +267,8 @@ int main(int argc, char** argv) {
            << "\"speedup_vs_serial\": " << row.speedup_vs_serial << ", "
            << "\"batches\": " << row.batches << ", "
            << "\"max_load\": " << row.max_load << ", "
-           << "\"comm_cost\": " << row.comm_cost << "}"
+           << "\"comm_cost\": " << row.comm_cost << ", "
+           << "\"peak_rss_bytes\": " << row.peak_rss << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";

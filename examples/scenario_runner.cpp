@@ -31,6 +31,7 @@
 #include "strategy/registry.hpp"
 #include "topology/registry.hpp"
 #include "util/cli.hpp"
+#include "util/memory.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -71,6 +72,10 @@ int main(int argc, char** argv) {
                "the sharded split-phase engine (its own seed contract; see "
                "parallel/sharded_runner.hpp)");
   args.add_flag("csv", "emit CSV instead of an aligned table");
+  args.add_int("max-rss-mb", 0,
+               "fail (exit 1) when process peak RSS exceeds this many MiB "
+               "after the matrix finishes (0 = no ceiling); the CI "
+               "large-topology smoke job uses it as a memory-model gate");
   try {
     args.parse(argc, argv);
   } catch (const CliError& error) {
@@ -185,8 +190,9 @@ int main(int argc, char** argv) {
   ThreadPool pool(static_cast<unsigned>(args.get_int("threads")));
 
   // Materialize each requested topology exactly once for the whole matrix
-  // (graph-backed ones pay an O(n²) all-pairs BFS), keyed by the resolved
-  // spec string; every (scenario, strategy) cell shares the instance.
+  // (graph-backed ones pay all-pairs BFS below the distance-oracle
+  // threshold, landmark BFS passes above it), keyed by the resolved spec
+  // string; every (scenario, strategy) cell shares the instance.
   std::map<std::string, std::shared_ptr<const Topology>> topology_cache;
 
   Table table({"scenario", "topology", "strategy", "max load", "+/-",
@@ -255,6 +261,17 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (args.get_int("max-rss-mb") > 0) {
+    const std::uint64_t peak = peak_rss_bytes();
+    const std::uint64_t ceiling =
+        static_cast<std::uint64_t>(args.get_int("max-rss-mb")) << 20;
+    std::cerr << "peak RSS " << peak / (1024.0 * 1024.0) << " MiB (ceiling "
+              << args.get_int("max-rss-mb") << " MiB)\n";
+    if (peak > ceiling) {
+      std::cerr << "FAIL: peak RSS exceeds the --max-rss-mb ceiling\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -35,14 +35,31 @@ def load_rows(path: str) -> tuple[dict, dict[tuple[str, int], dict]]:
     except (OSError, json.JSONDecodeError) as error:
         sys.exit(f"error: cannot read bench file {path!r}: {error}")
     rows = {}
-    for row in doc.get("results", []):
-        key = (row["strategy"], int(row.get("threads", 1)))
+    for index, row in enumerate(doc.get("results", [])):
+        strategy = row.get("strategy")
+        if strategy is None:
+            sys.exit(f"error: result row {index} in {path!r} has no "
+                     f"'strategy' field")
+        key = (strategy, int(row.get("threads", 1)))
         if key in rows:
             sys.exit(f"error: duplicate row {key} in {path!r}")
         rows[key] = row
     if not rows:
         sys.exit(f"error: no result rows in {path!r}")
     return doc, rows
+
+
+def row_rps(row: dict, key: tuple[str, int], path: str) -> float:
+    strategy, threads = key
+    value = row.get("requests_per_sec")
+    if value is None:
+        sys.exit(f"error: row {strategy} threads={threads} in {path!r} has "
+                 f"no 'requests_per_sec' field")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        sys.exit(f"error: row {strategy} threads={threads} in {path!r} has "
+                 f"non-numeric requests_per_sec {value!r}")
 
 
 def main() -> int:
@@ -75,11 +92,20 @@ def main() -> int:
         strategy, threads = key
         fresh_row = fresh.get(key)
         if fresh_row is None:
-            failures.append(f"missing row: {strategy} threads={threads}")
+            failures.append(
+                f"fresh file has no ({strategy}, threads={threads}) row, "
+                f"present in the baseline")
             continue
-        base_rps = float(base_row["requests_per_sec"])
-        fresh_rps = float(fresh_row["requests_per_sec"])
-        drop = 1.0 - fresh_rps / base_rps if base_rps > 0 else 0.0
+        base_rps = row_rps(base_row, key, args.baseline)
+        fresh_rps = row_rps(fresh_row, key, args.fresh)
+        if base_rps <= 0:
+            # A zero/negative baseline cannot anchor a fractional-drop
+            # check; any fresh value trivially passes. Say so instead of
+            # dividing by it.
+            print(f"[skip] {strategy} threads={threads}: baseline recorded "
+                  f"{base_rps:,.0f} req/s, no drop ratio to check")
+            continue
+        drop = 1.0 - fresh_rps / base_rps
         marker = "FAIL" if drop > args.tolerance else "ok"
         print(f"[{marker}] {strategy} threads={threads}: "
               f"{base_rps:,.0f} -> {fresh_rps:,.0f} req/s "

@@ -79,6 +79,22 @@ class ReplicaIndex {
       buckets_[j]->for_each_within(u, r, std::forward<Fn>(fn));
       return;
     }
+    if (topology_->prefers_local_enumeration() &&
+        r <= topology_->local_enumeration_horizon(u)) {
+      // Sparse graph oracles, inside the budget ball: walk the ball around
+      // the requester — exact distances, touches a bounded number of nodes
+      // — instead of scanning the global replica list through
+      // (approximate, per-source-BFS) far-pair distance queries. Beyond
+      // the horizon the "ball" can be most of the graph (hyperbolic /
+      // expander topologies have diameter O(log n)), so the list scan wins
+      // again; there `d` may be a landmark upper bound, which only ever
+      // *excludes* replicas whose true distance is within r, never admits
+      // one beyond.
+      for_each_in_ball(*topology_, u, r, [&](NodeId v, Hop d) {
+        if (placement_->caches(v, j)) fn(v, d);
+      });
+      return;
+    }
     scan_replicas(u, j, r, std::forward<Fn>(fn));
   }
 

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "random/rng.hpp"
 #include "topology/spec.hpp"
@@ -13,82 +12,14 @@
 
 namespace proxcache {
 
-namespace {
-
-constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
-
-}  // namespace
-
-GraphTopology::GraphTopology(CompactGraph graph, std::string description)
-    : graph_(std::move(graph)), description_(std::move(description)) {
-  const std::uint32_t n = graph_.num_vertices();
-  PROXCACHE_REQUIRE(n >= 1, "graph topology needs >= 1 vertex");
-  dist_.assign(static_cast<std::size_t>(n) * n, kUnreached);
-
-  // All-pairs BFS; a frontier queue per source over the CSR adjacency.
-  std::vector<std::uint32_t> frontier;
-  frontier.reserve(n);
-  for (std::uint32_t source = 0; source < n; ++source) {
-    std::uint16_t* row = dist_.data() + static_cast<std::size_t>(source) * n;
-    frontier.clear();
-    frontier.push_back(source);
-    row[source] = 0;
-    std::uint16_t depth = 0;
-    std::size_t begin = 0;
-    while (begin < frontier.size()) {
-      const std::size_t level_end = frontier.size();
-      PROXCACHE_CHECK(depth < kUnreached - 1, "graph diameter overflow");
-      ++depth;
-      for (std::size_t i = begin; i < level_end; ++i) {
-        for (const std::uint32_t v : graph_.neighbors(frontier[i])) {
-          if (row[v] == kUnreached) {
-            row[v] = depth;
-            frontier.push_back(v);
-          }
-        }
-      }
-      begin = level_end;
-    }
-    if (frontier.size() != n) {
-      throw std::invalid_argument(
-          "graph topology requires a connected graph (vertex " +
-          std::to_string(source) + " reaches only " +
-          std::to_string(frontier.size()) + " of " + std::to_string(n) +
-          " vertices)");
-    }
-    const std::uint16_t eccentricity = depth > 0 ? depth - 1 : 0;
-    diameter_ = std::max<Hop>(diameter_, eccentricity);
-  }
-}
-
-Hop GraphTopology::distance(NodeId u, NodeId v) const {
-  const std::size_t n = size();
-  PROXCACHE_REQUIRE(u < n && v < n, "node id out of range");
-  return dist_[static_cast<std::size_t>(u) * n + v];
-}
+GraphTopology::GraphTopology(CompactGraph graph, std::string description,
+                             Options options)
+    : graph_(std::move(graph)),
+      description_(std::move(description)),
+      oracle_(graph_, options) {}
 
 void GraphTopology::visit_shell(NodeId u, Hop d, NodeVisitor fn) const {
-  const std::size_t n = size();
-  PROXCACHE_REQUIRE(u < n, "node id out of range");
-  if (d > diameter_) return;
-  const std::uint16_t* row = dist_.data() + static_cast<std::size_t>(u) * n;
-  const auto target = static_cast<std::uint16_t>(d);
-  for (NodeId v = 0; v < n; ++v) {
-    if (row[v] == target) fn(v);
-  }
-}
-
-std::size_t GraphTopology::shell_size(NodeId u, Hop d) const {
-  const std::size_t n = size();
-  PROXCACHE_REQUIRE(u < n, "node id out of range");
-  if (d > diameter_) return 0;
-  const std::uint16_t* row = dist_.data() + static_cast<std::size_t>(u) * n;
-  const auto target = static_cast<std::uint16_t>(d);
-  std::size_t count = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (row[v] == target) ++count;
-  }
-  return count;
+  oracle_.visit_shell(u, d, fn);
 }
 
 std::vector<NodeId> GraphTopology::neighbors(NodeId u) const {
@@ -99,9 +30,42 @@ std::vector<NodeId> GraphTopology::neighbors(NodeId u) const {
 
 std::string GraphTopology::describe() const { return description_; }
 
-std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
-                                                       double radius,
-                                                       std::uint64_t seed) {
+namespace {
+
+/// Uniform bucket grid over the unit square, sized so one cell spans at
+/// least `radius`: all candidate neighbors of a point live in its 3×3 cell
+/// neighborhood. Cells never exceed ceil(sqrt(n)) per axis, so the expected
+/// occupancy stays O(1 + n·radius²).
+struct UnitSquareGrid {
+  std::size_t cells_per_axis;
+  double cell_width;
+
+  UnitSquareGrid(std::size_t n, double radius) {
+    const auto by_radius =
+        radius >= 1.0 ? std::size_t{1}
+                      : static_cast<std::size_t>(std::floor(1.0 / radius));
+    const auto by_count = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    cells_per_axis = std::max<std::size_t>(1, std::min(by_radius, by_count));
+    cell_width = 1.0 / static_cast<double>(cells_per_axis);
+  }
+
+  [[nodiscard]] std::size_t axis_cell(double coordinate) const {
+    const auto c = static_cast<std::size_t>(
+        coordinate * static_cast<double>(cells_per_axis));
+    return std::min(c, cells_per_axis - 1);
+  }
+
+  [[nodiscard]] std::size_t cell_of(double x, double y) const {
+    return axis_cell(y) * cells_per_axis + axis_cell(x);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const GraphTopology> make_rgg_topology(
+    std::size_t n, double radius, std::uint64_t seed,
+    GraphTopology::Options options) {
   PROXCACHE_REQUIRE(n >= 1, "rgg needs >= 1 node");
   PROXCACHE_REQUIRE(radius > 0.0, "rgg radius must be > 0");
 
@@ -122,12 +86,35 @@ std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
     return dx * dx + dy * dy;
   };
 
+  // Bucket-grid edge enumeration: each point tests only its 3×3 cell
+  // neighborhood — O(n · expected degree) instead of the old O(n²)
+  // pairwise scan. Emission order differs from the pairwise scan, but
+  // CompactGraph::from_edges canonicalizes (sorts + dedupes), so the built
+  // graph is identical.
+  const UnitSquareGrid grid(n, radius);
+  const std::size_t g = grid.cells_per_axis;
+  std::vector<std::vector<std::uint32_t>> cells(g * g);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[grid.cell_of(xs[i], ys[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (dist_sq(i, j) <= radius_sq) {
-        edges.emplace_back(static_cast<std::uint32_t>(i),
-                           static_cast<std::uint32_t>(j));
+    const std::size_t cx = grid.axis_cell(xs[i]);
+    const std::size_t cy = grid.axis_cell(ys[i]);
+    const std::size_t x_lo = cx > 0 ? cx - 1 : 0;
+    const std::size_t x_hi = std::min(cx + 1, g - 1);
+    const std::size_t y_lo = cy > 0 ? cy - 1 : 0;
+    const std::size_t y_hi = std::min(cy + 1, g - 1);
+    for (std::size_t y = y_lo; y <= y_hi; ++y) {
+      for (std::size_t x = x_lo; x <= x_hi; ++x) {
+        for (const std::uint32_t j : cells[y * g + x]) {
+          if (j <= i) continue;
+          if (dist_sq(i, j) <= radius_sq) {
+            edges.emplace_back(static_cast<std::uint32_t>(i), j);
+          }
+        }
       }
     }
   }
@@ -136,17 +123,20 @@ std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
   // adjacency list), then stitch every minor component to the giant one
   // through its closest pair of points. Deterministic: components are
   // labeled in order of their smallest node id, and ties in the closest
-  // pair keep the first pair found in the fixed DFS-discovery iteration
-  // order.
+  // pair keep the pair minimizing (DFS-discovery rank in the minor
+  // component, then DFS-discovery rank in the giant component).
   std::vector<std::vector<std::uint32_t>> adjacency(n);
   for (const auto& [a, b] : edges) {
     adjacency[a].push_back(b);
     adjacency[b].push_back(a);
   }
-  std::vector<std::uint32_t> component(n, std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::uint32_t> component(
+      n, std::numeric_limits<std::uint32_t>::max());
   std::vector<std::vector<std::uint32_t>> members;
   for (std::size_t start = 0; start < n; ++start) {
-    if (component[start] != std::numeric_limits<std::uint32_t>::max()) continue;
+    if (component[start] != std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
     const auto label = static_cast<std::uint32_t>(members.size());
     members.emplace_back();
     std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(start)};
@@ -168,18 +158,72 @@ std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
     for (std::uint32_t c = 1; c < members.size(); ++c) {
       if (members[c].size() > members[giant].size()) giant = c;
     }
+    // Grid holding only giant-component members (by their discovery rank,
+    // so tie-breaks fall out of the scan order). Each minor node searches
+    // expanding Chebyshev rings of cells; a ring at index k is at least
+    // (k-1)·cell_width away, which bounds the search once a candidate is
+    // found.
+    std::vector<std::vector<std::uint32_t>> giant_cells(g * g);
+    for (std::uint32_t rank = 0;
+         rank < static_cast<std::uint32_t>(members[giant].size()); ++rank) {
+      const std::uint32_t v = members[giant][rank];
+      giant_cells[grid.cell_of(xs[v], ys[v])].push_back(rank);
+    }
     for (std::uint32_t c = 0; c < members.size(); ++c) {
       if (c == giant) continue;
       double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_rank_u = 0;
+      std::uint32_t best_rank_v = 0;
       std::uint32_t best_u = 0;
       std::uint32_t best_v = 0;
-      for (const std::uint32_t u : members[c]) {
-        for (const std::uint32_t v : members[giant]) {
-          const double d = dist_sq(u, v);
-          if (d < best) {
-            best = d;
-            best_u = u;
-            best_v = v;
+      for (std::uint32_t rank_u = 0;
+           rank_u < static_cast<std::uint32_t>(members[c].size());
+           ++rank_u) {
+        const std::uint32_t u = members[c][rank_u];
+        const std::size_t cx = grid.axis_cell(xs[u]);
+        const std::size_t cy = grid.axis_cell(ys[u]);
+        const auto consider = [&](std::size_t x, std::size_t y) {
+          for (const std::uint32_t rank_v : giant_cells[y * g + x]) {
+            const std::uint32_t v = members[giant][rank_v];
+            const double d = dist_sq(u, v);
+            const bool wins =
+                d < best ||
+                (d == best &&
+                 (rank_u < best_rank_u ||
+                  (rank_u == best_rank_u && rank_v < best_rank_v)));
+            if (wins) {
+              best = d;
+              best_rank_u = rank_u;
+              best_rank_v = rank_v;
+              best_u = u;
+              best_v = v;
+            }
+          }
+        };
+        for (std::size_t k = 0; k < g; ++k) {
+          if (k >= 1) {
+            const double gap =
+                static_cast<double>(k - 1) * grid.cell_width;
+            if (gap * gap > best) break;
+          }
+          const std::size_t x_lo = cx >= k ? cx - k : 0;
+          const std::size_t x_hi = std::min(cx + k, g - 1);
+          const std::size_t y_lo = cy >= k ? cy - k : 0;
+          const std::size_t y_hi = std::min(cy + k, g - 1);
+          if (k == 0) {
+            consider(cx, cy);
+            continue;
+          }
+          for (std::size_t x = x_lo; x <= x_hi; ++x) {
+            if (cy >= k && cy - k >= y_lo) consider(x, cy - k);
+            if (cy + k <= g - 1) consider(x, cy + k);
+          }
+          for (std::size_t y = y_lo; y <= y_hi; ++y) {
+            const bool on_corner_row =
+                (cy >= k && y == cy - k) || (y == cy + k && cy + k <= g - 1);
+            if (on_corner_row) continue;
+            if (cx >= k && cx - k >= x_lo) consider(cx - k, y);
+            if (cx + k <= g - 1) consider(cx + k, y);
           }
         }
       }
@@ -198,7 +242,7 @@ std::shared_ptr<const GraphTopology> make_rgg_topology(std::size_t n,
   return std::make_shared<GraphTopology>(
       CompactGraph::from_edges(static_cast<std::uint32_t>(n),
                                std::move(edges)),
-      spec.to_string());
+      spec.to_string(), options);
 }
 
 }  // namespace proxcache

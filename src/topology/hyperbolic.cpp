@@ -1,0 +1,190 @@
+#include "topology/hyperbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "topology/spec.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Hyperbolic distance between polar points in the native disk model.
+double hyperbolic_distance(double r_u, double theta_u, double r_v,
+                           double theta_v) {
+  const double delta = kPi - std::fabs(kPi - std::fabs(theta_u - theta_v));
+  const double c = std::cosh(r_u) * std::cosh(r_v) -
+                   std::sinh(r_u) * std::sinh(r_v) * std::cos(delta);
+  return std::acosh(std::max(1.0, c));
+}
+
+/// Widest angular separation at which a point at radius `r` can still be
+/// within hyperbolic distance `R` of *some* point at radius `partner` —
+/// the scan window for the angle-sorted outer-outer pass.
+double max_connectable_angle(double r, double partner, double R) {
+  const double denom = std::sinh(r) * std::sinh(partner);
+  if (denom <= 0.0) return kPi;
+  const double c =
+      (std::cosh(r) * std::cosh(partner) - std::cosh(R)) / denom;
+  if (c <= -1.0) return kPi;
+  if (c >= 1.0) return 0.0;
+  return std::acos(c);
+}
+
+}  // namespace
+
+std::shared_ptr<const GraphTopology> make_hyperbolic_topology(
+    std::size_t n, double degree, double alpha, std::uint64_t seed,
+    GraphTopology::Options options) {
+  PROXCACHE_REQUIRE(n >= 1, "hyperbolic needs >= 1 node");
+  PROXCACHE_REQUIRE(degree > 0.0, "hyperbolic degree must be > 0");
+  PROXCACHE_REQUIRE(alpha > 0.5, "hyperbolic alpha must be > 0.5");
+
+  const double xi = alpha / (alpha - 0.5);
+  const double R = std::max(
+      0.0, 2.0 * std::log(2.0 * static_cast<double>(n) * xi * xi /
+                          (kPi * degree)));
+
+  // Draw order per point: angle first, then the radial quantile — part of
+  // the seed contract. The radial CDF is (cosh(αr) − 1)/(cosh(αR) − 1);
+  // its inverse keeps the quasi-uniform density the model calls for.
+  Rng rng(seed);
+  std::vector<double> rs(n);
+  std::vector<double> thetas(n);
+  const double cosh_aR = std::cosh(alpha * R);
+  for (std::size_t i = 0; i < n; ++i) {
+    thetas[i] = rng.uniform() * 2.0 * kPi;
+    const double q = rng.uniform();
+    rs[i] = R > 0.0 ? std::acosh(1.0 + q * (cosh_aR - 1.0)) / alpha : 0.0;
+  }
+
+  const double half = R / 2.0;
+  std::vector<std::uint32_t> inner;
+  std::vector<std::uint32_t> outer;
+  for (std::size_t i = 0; i < n; ++i) {
+    (rs[i] <= half ? inner : outer).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  // Inner points (r <= R/2) are pairwise within distance R by the triangle
+  // inequality — a clique — and are tested exactly against every outer
+  // point. Their expected count is O(n^(1−α)), keeping this pass cheap.
+  for (std::size_t a = 0; a < inner.size(); ++a) {
+    for (std::size_t b = a + 1; b < inner.size(); ++b) {
+      edges.emplace_back(std::min(inner[a], inner[b]),
+                         std::max(inner[a], inner[b]));
+    }
+    const std::uint32_t u = inner[a];
+    for (const std::uint32_t v : outer) {
+      if (hyperbolic_distance(rs[u], thetas[u], rs[v], thetas[v]) <= R) {
+        edges.emplace_back(std::min(u, v), std::max(u, v));
+      }
+    }
+  }
+
+  // Outer-outer pairs: sort by angle and scan forward from each point no
+  // wider than the largest angle connectable to *any* partner at radius
+  // >= R/2 (θ_max(r_u, r_v) <= that window because r_v >= R/2). A
+  // connectable pair's true angular difference fits both endpoints'
+  // windows, so it is found from the endpoint whose forward gap is the
+  // difference itself (< π); the exact-π case emits from both sides and
+  // CompactGraph::from_edges dedupes it.
+  std::vector<std::uint32_t> by_angle(outer);
+  std::sort(by_angle.begin(), by_angle.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return thetas[a] < thetas[b] ||
+                     (thetas[a] == thetas[b] && a < b);
+            });
+  const std::size_t m = by_angle.size();
+  for (std::size_t s = 0; s < m; ++s) {
+    const std::uint32_t u = by_angle[s];
+    const double limit =
+        std::min(max_connectable_angle(rs[u], half, R), kPi);
+    for (std::size_t step = 1; step < m; ++step) {
+      const std::uint32_t v = by_angle[(s + step) % m];
+      double gap = thetas[v] - thetas[u];
+      if (gap < 0.0) gap += 2.0 * kPi;
+      if (gap > limit) break;  // forward gaps only grow from here
+      if (hyperbolic_distance(rs[u], thetas[u], rs[v], thetas[v]) <= R) {
+        edges.emplace_back(std::min(u, v), std::max(u, v));
+      }
+    }
+  }
+
+  // Connectivity repair: hyperbolic random graphs keep a giant component
+  // but shed isolated low-degree rim vertices. Label components, then
+  // stitch each minor through its innermost point (smallest radius, ties
+  // to the smaller id) to the giant component's innermost point — the
+  // hub-to-hub analogue of the rgg closest-pair repair, deterministic.
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (const auto& [a, b] : edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::vector<std::uint32_t> component(
+      n, std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::size_t> component_size;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component[start] != std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
+    const auto label = static_cast<std::uint32_t>(component_size.size());
+    component_size.push_back(0);
+    std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(start)};
+    component[start] = label;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++component_size[label];
+      for (const std::uint32_t v : adjacency[u]) {
+        if (component[v] == std::numeric_limits<std::uint32_t>::max()) {
+          component[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (component_size.size() > 1) {
+    std::uint32_t giant = 0;
+    for (std::uint32_t c = 1; c < component_size.size(); ++c) {
+      if (component_size[c] > component_size[giant]) giant = c;
+    }
+    std::vector<std::uint32_t> hub(
+        component_size.size(), std::numeric_limits<std::uint32_t>::max());
+    for (std::uint32_t v = 0; v < static_cast<std::uint32_t>(n); ++v) {
+      std::uint32_t& best = hub[component[v]];
+      if (best == std::numeric_limits<std::uint32_t>::max() ||
+          rs[v] < rs[best] || (rs[v] == rs[best] && v < best)) {
+        best = v;
+      }
+    }
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(component_size.size()); ++c) {
+      if (c == giant) continue;
+      edges.emplace_back(std::min(hub[c], hub[giant]),
+                         std::max(hub[c], hub[giant]));
+    }
+  }
+
+  TopologySpec spec;
+  spec.name = "hyperbolic";
+  spec.params["n"] = static_cast<double>(n);
+  spec.params["degree"] = degree;
+  spec.params["alpha"] = alpha;
+  spec.params["seed"] = static_cast<double>(seed);
+  return std::make_shared<GraphTopology>(
+      CompactGraph::from_edges(static_cast<std::uint32_t>(n),
+                               std::move(edges)),
+      spec.to_string(), options);
+}
+
+}  // namespace proxcache

@@ -1,0 +1,38 @@
+#pragma once
+/// \file hyperbolic.hpp
+/// Hyperbolic random graph topology (Krioukov et al., Phys. Rev. E 82,
+/// 036106): `n` points in the Poincaré disk of radius `R`, angle uniform,
+/// radius with density ∝ α·sinh(αr), an edge between every pair at
+/// hyperbolic distance <= `R`. The model produces scale-free degree
+/// distributions (exponent γ = 2α + 1), high clustering, and poly-log
+/// diameters — the Internet-like expander regime with *exponential* shell
+/// growth that the lattice/ring/tree catalog lacks.
+///
+/// `R` is calibrated so the expected average degree is `degree`:
+/// R = 2·ln(2·n·ξ² / (π·degree)) with ξ = α/(α − ½) — which is why
+/// `alpha` must exceed ½ (at α <= ½ the expected degree diverges).
+///
+/// Construction is subquadratic: points inside radius R/2 form a clique
+/// and are pair-tested against everyone (their expected count is
+/// O(n^(1−α))), while outer-outer pairs are found by an angle-sorted
+/// forward scan bounded by the widest connectable angle at radius R/2.
+/// Disconnected minors are stitched hub-to-hub (each minor's innermost
+/// point to the giant component's innermost point) so distances stay
+/// finite — deterministic, like the rgg repair.
+
+#include <cstdint>
+#include <memory>
+
+#include "topology/graph_topology.hpp"
+
+namespace proxcache {
+
+/// Deterministic hyperbolic random graph topology. All randomness comes
+/// from `seed`; the draw order (theta then radius quantile, per point in id
+/// order) is part of the determinism contract. Throws std::invalid_argument
+/// via the usual contract macros when `alpha <= 0.5` or `degree <= 0`.
+std::shared_ptr<const GraphTopology> make_hyperbolic_topology(
+    std::size_t n, double degree, double alpha, std::uint64_t seed,
+    GraphTopology::Options options = GraphTopology::Options{});
+
+}  // namespace proxcache

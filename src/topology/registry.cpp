@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "topology/graph_topology.hpp"
+#include "topology/hyperbolic.hpp"
 #include "topology/ring.hpp"
 #include "topology/tree.hpp"
 #include "util/contracts.hpp"
@@ -14,10 +15,13 @@ namespace proxcache {
 namespace {
 
 /// Hard ceiling on materialized node counts: keeps accidental
-/// `ring(n=1e18)` specs from being accepted by validation and protects the
-/// dense-matrix graph topologies (n² uint16 distances) behind their own
+/// `ring(n=1e18)` specs from being accepted by validation. Graph-backed
+/// topologies scale past the old dense-matrix wall through the sparse
+/// distance oracle (graph/distance_oracle.hpp), so the ceiling is now a
+/// memory-sanity bound rather than an n² one; entries whose *construction*
+/// is the bottleneck (rgg point stitching, hyperbolic edge scans) declare
 /// tighter per-entry ranges.
-constexpr std::size_t kMaxNodes = std::size_t{1} << 22;
+constexpr std::size_t kMaxNodes = std::size_t{1} << 27;
 
 std::string format_range(double lo, double hi) {
   std::ostringstream os;
@@ -149,9 +153,10 @@ std::shared_ptr<const Topology> TopologyRegistry::make(
 
 const TopologyRegistry& TopologyRegistry::built_ins() {
   static const TopologyRegistry registry = [] {
-    // sqrt(kMaxNodes): keeps the declared per-key range satisfiable — any
-    // in-range side also passes the node-count cross-check.
-    const double side_max = 2048.0;
+    // side_max² <= kMaxNodes keeps the declared per-key range satisfiable —
+    // any in-range side also passes the node-count cross-check. 8192² is
+    // 2^26 nodes: million-node tori (side=1000) are now well inside range.
+    const double side_max = 8192.0;
     TopologyRegistry r;
     const auto lattice_nodes = [](const TopologySpec& spec) {
       const auto side = static_cast<std::size_t>(spec.get_or("side", 45.0));
@@ -208,8 +213,10 @@ const TopologyRegistry& TopologyRegistry::built_ins() {
     r.add({"rgg",
            "random geometric graph in the unit square (BFS hop distances, "
            "deterministic in seed)",
-           {{"n", 2.0, 8192.0, 4096.0,
-             "number of servers (n^2 distance table)", /*integral=*/true},
+           {{"n", 2.0, 16777216.0, 4096.0,
+             "number of servers (dense distance table up to the oracle "
+             "threshold, sparse BFS + landmarks beyond)",
+             /*integral=*/true},
             {"radius", 1e-9, 1.5, 0.03, "Euclidean connection radius"},
             {"seed", 0.0, 9007199254740992.0, 1.0,
              "point-process seed", /*integral=*/true}},
@@ -220,6 +227,24 @@ const TopologyRegistry& TopologyRegistry::built_ins() {
              return make_rgg_topology(
                  static_cast<std::size_t>(spec.get_or("n", 4096.0)),
                  spec.get_or("radius", 0.03),
+                 static_cast<std::uint64_t>(spec.get_or("seed", 1.0)));
+           }});
+    r.add({"hyperbolic",
+           "hyperbolic random graph in the Poincare disk (scale-free "
+           "degrees, gamma = 2*alpha + 1; deterministic in seed)",
+           {{"n", 1.0, 1048576.0, 4096.0, "number of servers",
+             /*integral=*/true},
+            {"degree", 1.0, 1024.0, 10.0, "target average degree"},
+            {"alpha", 0.51, 8.0, 0.75, "radial dispersion (> 0.5)"},
+            {"seed", 0.0, 9007199254740992.0, 1.0,
+             "point-process seed", /*integral=*/true}},
+           [](const TopologySpec& spec) {
+             return static_cast<std::size_t>(spec.get_or("n", 4096.0));
+           },
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return make_hyperbolic_topology(
+                 static_cast<std::size_t>(spec.get_or("n", 4096.0)),
+                 spec.get_or("degree", 10.0), spec.get_or("alpha", 0.75),
                  static_cast<std::uint64_t>(spec.get_or("seed", 1.0)));
            }});
     return r;

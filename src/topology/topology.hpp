@@ -68,6 +68,29 @@ class Topology {
     return false;
   }
 
+  /// True when radius-limited queries should walk the ball around the
+  /// requester (via `visit_shell`) instead of scanning global node/replica
+  /// lists. Distinct from `directly_enumerates_shells`: ring/tree
+  /// enumerate shells directly but answer `distance` in O(1), so list
+  /// scans stay cheap there; a sparse graph oracle answers far-pair
+  /// distances approximately and pays a BFS per new source, so local ball
+  /// walks are both faster *and* exact. Default: false.
+  [[nodiscard]] virtual bool prefers_local_enumeration() const {
+    return false;
+  }
+
+  /// Largest radius for which a ball walk around `u` is still "local" —
+  /// guaranteed to touch a bounded number of nodes. Radius queries on
+  /// topologies that prefer local enumeration fall back to list scans
+  /// beyond it: on small-diameter graphs (hyperbolic/expanders) even
+  /// B_8(u) can be most of the graph. Must be a pure function of the
+  /// topology (never of query history). Default: the diameter (every ball
+  /// walk allowed).
+  [[nodiscard]] virtual Hop local_enumeration_horizon(NodeId u) const {
+    (void)u;
+    return diameter();
+  }
+
   /// Exact number of nodes at distance exactly `d` from `u`.
   [[nodiscard]] virtual std::size_t shell_size(NodeId u, Hop d) const;
 

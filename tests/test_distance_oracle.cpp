@@ -1,0 +1,280 @@
+// Scalable distance layer (graph/distance_oracle.hpp): the sparse regime
+// (on-demand truncated BFS + landmark upper bounds) must agree with the
+// dense all-pairs matrix wherever it claims exactness, answer
+// history-independently (no query order, eviction, or cache effect may
+// change a result), keep shells exact and id-sorted in both regimes, and
+// reject over-deep graphs with a user-facing error instead of an internal
+// assertion. The landmark approximation is checked against exact BFS on
+// every registered topology at small n.
+#include "graph/distance_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/graph_topology.hpp"
+#include "topology/hyperbolic.hpp"
+#include "topology/registry.hpp"
+#include "topology/spec.hpp"
+
+namespace proxcache {
+namespace {
+
+/// CSR graph from any topology's distance-1 shells — lets the oracle be
+/// exercised on lattices, rings and trees too, not just native graphs.
+CompactGraph graph_from(const Topology& topology) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (NodeId u = 0; u < topology.size(); ++u) {
+    for (const NodeId v : topology.neighbors(u)) {
+      if (v > u) {
+        edges.emplace_back(static_cast<std::uint32_t>(u),
+                           static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+  return CompactGraph::from_edges(
+      static_cast<std::uint32_t>(topology.size()), std::move(edges));
+}
+
+DistanceOracle::Options sparse_exact_options(std::size_t n) {
+  DistanceOracle::Options options;
+  options.dense_threshold = 0;        // force the sparse machinery
+  options.distance_ball_budget = n;   // ...with full exactness
+  return options;
+}
+
+TEST(DistanceOracle, SparseAgreesWithDenseEverywhereWithinBudget) {
+  const auto rgg = make_rgg_topology(180, 0.14, 21);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  const DistanceOracle dense(graph, DistanceOracle::Options{});
+  ASSERT_TRUE(dense.exact());
+  const DistanceOracle sparse(graph, sparse_exact_options(n));
+  ASSERT_FALSE(sparse.exact());
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(sparse.distance(u, v), dense.distance(u, v))
+          << "pair (" << u << ", " << v << ")";
+      const auto certified = sparse.certified_distance(u, v);
+      ASSERT_TRUE(certified.has_value()) << "budget covers the whole graph";
+      EXPECT_EQ(*certified, dense.distance(u, v));
+    }
+  }
+  EXPECT_EQ(sparse.diameter(), dense.diameter());
+  EXPECT_TRUE(sparse.diameter_is_exact());
+  EXPECT_EQ(sparse.stats().landmark_answers, 0u)
+      << "budget >= n must never fall back to landmarks";
+}
+
+TEST(DistanceOracle, ShellsAreExactAndIdSortedInBothRegimes) {
+  const auto rgg = make_rgg_topology(150, 0.16, 4);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  const DistanceOracle dense(graph, DistanceOracle::Options{});
+  // A *small* ball budget: shells must stay exact beyond the distance
+  // horizon (they extend the row as deep as the query asks).
+  DistanceOracle::Options options = sparse_exact_options(n);
+  options.distance_ball_budget = 8;
+  const DistanceOracle sparse(graph, options);
+
+  for (const NodeId u : {static_cast<NodeId>(0), static_cast<NodeId>(n / 2),
+                         static_cast<NodeId>(n - 1)}) {
+    std::size_t ball = 0;
+    for (Hop d = 0; d <= dense.diameter() + 1; ++d) {
+      std::vector<NodeId> from_dense;
+      std::vector<NodeId> from_sparse;
+      dense.visit_shell(u, d, [&](NodeId v) { from_dense.push_back(v); });
+      sparse.visit_shell(u, d, [&](NodeId v) { from_sparse.push_back(v); });
+      EXPECT_EQ(from_sparse, from_dense)
+          << "shell d=" << d << " of " << u
+          << " must match the dense row scan element-wise";
+      EXPECT_TRUE(
+          std::is_sorted(from_sparse.begin(), from_sparse.end()))
+          << "shells enumerate in increasing node-id order";
+      EXPECT_EQ(sparse.shell_size(u, d), from_dense.size());
+      ball += from_dense.size();
+      EXPECT_EQ(sparse.ball_size(u, d), std::min(ball, n));
+    }
+  }
+}
+
+TEST(DistanceOracle, AnswersAreHistoryIndependent) {
+  const auto rgg = make_rgg_topology(200, 0.12, 8);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  DistanceOracle::Options options;
+  options.dense_threshold = 0;
+  options.distance_ball_budget = 24;  // most far pairs go to landmarks
+  options.cache_entry_budget = 64;    // constant eviction churn
+  const DistanceOracle churned(graph, options);
+
+  // Warm the churned oracle through an adversarial access pattern: deep
+  // shell walks (rows grown far beyond the budget ball), then scattered
+  // distance queries that evict those rows repeatedly.
+  for (NodeId u = 0; u < n; u += 7) {
+    (void)churned.ball_size(u, churned.diameter());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    (void)churned.distance(u, (u * 31 + 5) % n);
+  }
+  EXPECT_GT(churned.stats().rows_evicted, 0u)
+      << "the tiny cache budget must actually churn";
+
+  // Every answer must equal the one a *fresh* oracle gives first thing:
+  // exactness is a function of the graph and the budget, never of what
+  // was asked before or what the LRU kept.
+  const DistanceOracle fresh(graph, options);
+  for (NodeId u = 0; u < n; u += 3) {
+    for (NodeId v = 0; v < n; v += 5) {
+      EXPECT_EQ(churned.distance(u, v), fresh.distance(u, v))
+          << "pair (" << u << ", " << v << ")";
+      EXPECT_EQ(churned.certified_distance(u, v).has_value(),
+                fresh.certified_distance(u, v).has_value())
+          << "exactness horizon drifted for (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(DistanceOracle, CertifiedDistancesAreExactAndBoundsNeverUnderestimate) {
+  const auto rgg = make_rgg_topology(220, 0.11, 13);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  const DistanceOracle reference(graph, sparse_exact_options(n));
+  DistanceOracle::Options options;
+  options.dense_threshold = 0;
+  options.distance_ball_budget = 16;
+  options.num_landmarks = 8;
+  const DistanceOracle oracle(graph, options);
+
+  std::uint64_t approximated = 0;
+  for (NodeId u = 0; u < n; u += 2) {
+    for (NodeId v = 0; v < n; v += 3) {
+      const Hop exact = reference.distance(u, v);
+      const Hop answer = oracle.distance(u, v);
+      const auto certified = oracle.certified_distance(u, v);
+      if (certified.has_value()) {
+        EXPECT_EQ(*certified, exact) << "(" << u << ", " << v << ")";
+        EXPECT_EQ(answer, exact);
+      } else {
+        EXPECT_GE(answer, exact)
+            << "landmark estimates are upper bounds, never below the truth";
+        EXPECT_LE(answer, 2 * oracle.diameter());
+        ++approximated;
+      }
+    }
+  }
+  EXPECT_GT(approximated, 0u)
+      << "a 16-node ball budget must push far pairs to the landmark path";
+  EXPECT_GE(oracle.diameter(), reference.diameter())
+      << "diameter may be an upper bound but never an underestimate";
+}
+
+TEST(DistanceOracle, LandmarkBoundHoldsOnEveryRegisteredTopology) {
+  // One small spec per registered topology; the completeness assertion
+  // below forces this table to grow with the registry.
+  const std::map<std::string, std::string> small_specs = {
+      {"torus", "torus(side=6)"},
+      {"grid", "grid(side=6)"},
+      {"ring", "ring(n=48)"},
+      {"tree", "tree(branching=3, depth=3)"},
+      {"rgg", "rgg(n=64, radius=0.22, seed=3)"},
+      {"hyperbolic", "hyperbolic(n=64, degree=6, alpha=0.8, seed=2)"},
+  };
+  const TopologyRegistry& registry = TopologyRegistry::built_ins();
+  for (const TopologyEntry& entry : registry.all()) {
+    ASSERT_TRUE(small_specs.count(entry.name))
+        << "new topology '" << entry.name
+        << "' needs a row in the landmark-bound suite";
+  }
+
+  for (const auto& [name, spec] : small_specs) {
+    const auto topology = registry.make(parse_topology_spec(spec));
+    const CompactGraph graph = graph_from(*topology);
+    const std::size_t n = graph.num_vertices();
+    const DistanceOracle exact(graph, sparse_exact_options(n));
+    DistanceOracle::Options options;
+    options.dense_threshold = 0;
+    options.distance_ball_budget = 4;  // landmark path for most pairs
+    options.num_landmarks = 6;
+    const DistanceOracle oracle(graph, options);
+
+    double total_error = 0.0;
+    std::size_t pairs = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const Hop truth = exact.distance(u, v);
+        const Hop bound = oracle.landmark_upper_bound(u, v);
+        ASSERT_GE(bound, truth) << spec << " (" << u << ", " << v << ")";
+        ASSERT_LE(bound, 2 * exact.diameter()) << spec;
+        total_error += static_cast<double>(bound - truth) /
+                       static_cast<double>(truth);
+        ++pairs;
+      }
+    }
+    // Loose locked ceiling: farthest-point landmarks keep the *mean*
+    // relative overestimate below one diameter-hop of slack on every
+    // catalog topology. Small-diameter expanders (hyperbolic) sit highest
+    // — truth 1 vs bound 2 already costs 100% — so the ceiling only
+    // catches gross regressions, not model-level looseness.
+    EXPECT_LE(total_error / static_cast<double>(pairs), 1.0) << spec;
+  }
+}
+
+TEST(DistanceOracle, OverDeepGraphsThrowNamingTheSourceVertex) {
+  // A path longer than the uint16 distance range: the old dense code
+  // tripped an internal assertion; the contract is now a user-facing
+  // std::invalid_argument naming the BFS source.
+  const std::uint32_t n = 70'000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n - 1);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  CompactGraph path = CompactGraph::from_edges(n, std::move(edges));
+  try {
+    const DistanceOracle oracle(path, DistanceOracle::Options{});
+    FAIL() << "a 70k-vertex path exceeds uint16 distances and must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("vertex 0"), std::string::npos)
+        << "message must name the offending source: " << message;
+    EXPECT_NE(message.find("65534"), std::string::npos)
+        << "message must state the storage limit: " << message;
+  }
+}
+
+TEST(DistanceOracle, DisconnectedGraphsAreRejectedInBothRegimes) {
+  CompactGraph split_small = CompactGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(DistanceOracle(split_small, DistanceOracle::Options{}),
+               std::invalid_argument);
+  CompactGraph split_again = CompactGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(DistanceOracle(split_again, sparse_exact_options(4)),
+               std::invalid_argument);
+}
+
+TEST(DistanceOracle, LruEvictionKeepsMemoryBoundedWithoutChangingAnswers) {
+  const auto rgg = make_rgg_topology(160, 0.15, 30);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  DistanceOracle::Options options = sparse_exact_options(n);
+  options.cache_entry_budget = 2 * n;  // room for ~2 full rows
+  const DistanceOracle oracle(graph, options);
+  const DistanceOracle reference(graph, sparse_exact_options(n));
+
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(oracle.distance(u, (u + n / 2) % n),
+              reference.distance(u, (u + n / 2) % n));
+  }
+  const DistanceOracle::Stats stats = oracle.stats();
+  EXPECT_EQ(stats.rows_built, static_cast<std::uint64_t>(n));
+  EXPECT_GT(stats.rows_evicted, 0u);
+  EXPECT_EQ(stats.landmark_answers, 0u);
+}
+
+}  // namespace
+}  // namespace proxcache

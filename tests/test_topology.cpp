@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "topology/graph_topology.hpp"
+#include "topology/hyperbolic.hpp"
 #include "topology/lattice.hpp"
 #include "topology/ring.hpp"
 #include "topology/shells.hpp"
@@ -114,6 +115,23 @@ TEST(TopologyConformance, Tree) {
 TEST(TopologyConformance, RandomGeometricGraph) {
   const auto rgg = make_rgg_topology(40, 0.3, 7);
   expect_conforms(*rgg, rgg->describe());
+}
+
+TEST(TopologyConformance, HyperbolicRandomGraph) {
+  const auto hrg = make_hyperbolic_topology(48, 6.0, 0.8, 5);
+  expect_conforms(*hrg, hrg->describe());
+}
+
+TEST(TopologyConformance, SparseOracleGraphTopology) {
+  // The same conformance battery on the sparse-regime oracle (full ball
+  // budget, so every query is certified-exact — including the iFUB
+  // diameter, which expect_conforms checks against the true maximum).
+  GraphTopology::Options options;
+  options.dense_threshold = 0;
+  options.distance_ball_budget = 64;
+  const auto rgg = make_rgg_topology(64, 0.25, 19, options);
+  ASSERT_FALSE(rgg->oracle().exact());
+  expect_conforms(*rgg, "sparse " + rgg->describe());
 }
 
 TEST(LatticeTopology, ImplementsTheInterfaceBitIdentically) {

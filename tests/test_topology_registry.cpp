@@ -29,7 +29,8 @@ void expect_invalid(const std::string& text, const std::string& needle) {
 TEST(TopologyRegistry, BuiltInsCoverLatticeAndGraphFamilies) {
   const TopologyRegistry& registry = TopologyRegistry::built_ins();
   EXPECT_GE(registry.all().size(), 5u);
-  for (const char* name : {"torus", "grid", "ring", "tree", "rgg"}) {
+  for (const char* name :
+       {"torus", "grid", "ring", "tree", "rgg", "hyperbolic"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.find("hypercube"), nullptr);
@@ -55,7 +56,16 @@ TEST(TopologyRegistry, ValidateRejectsUnknownNamesKeysAndRanges) {
   expect_invalid("torus(side=2.5)", "must be an integer");
   expect_invalid("tree(branching=0)", "'branching' = 0");
   expect_invalid("rgg(radius=0)", "'radius' = 0");
-  expect_invalid("rgg(n=100000)", "'n' = 100000");
+  expect_invalid("rgg(n=20000000)", "outside");
+  expect_invalid("hyperbolic(alpha=0.5)", "'alpha' = 0.5");
+  // The old dense-matrix caps are lifted: million-node graph specs are
+  // valid now (the sparse distance oracle serves them).
+  EXPECT_NO_THROW(TopologyRegistry::built_ins().validate(
+      parse_topology_spec("rgg(n=1000000, radius=0.0025)")));
+  EXPECT_NO_THROW(TopologyRegistry::built_ins().validate(
+      parse_topology_spec("torus(side=4000)")));
+  EXPECT_NO_THROW(TopologyRegistry::built_ins().validate(
+      parse_topology_spec("hyperbolic(n=100000)")));
   // Per-key ranges pass but the implied node count overflows the id space.
   expect_invalid("tree(branching=64, depth=24)", "overflows");
 }
