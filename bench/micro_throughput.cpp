@@ -4,21 +4,30 @@
 // that peak RSS grows far less than a materialized trace would require —
 // the O(num_nodes) memory contract of SimulationContext::run.
 //
-// Emits BENCH_throughput.json (the repo's first perf-trajectory point; CI
-// uploads it as a workflow artifact).
+// Emits BENCH_throughput.json (the repo's perf-trajectory file; CI uploads
+// it as a workflow artifact). The file holds two independent blocks —
+// `results` (this default sweep) and `large_topology` (million-node rows
+// produced with --large-topology) — and a run regenerates only its own
+// block, preserving the other verbatim (util/json_slice.hpp).
 //
 //   $ ./micro_throughput                      # 10M streamed requests/strategy
 //   $ ./micro_throughput --requests 2000000   # faster CI setting
 //   $ ./micro_throughput --topology "ring(n=4096)"   # non-lattice network
 //   $ ./micro_throughput --threads 8          # + sharded-engine rows
+//   $ ./micro_throughput --large-topology --topology "torus(side=1000)" \
+//       --strategy nearest                    # merge into large_topology
 //
-// With `--threads N` (N >= 2) every strategy gets a second, sharded row —
-// the split-phase engine at width N — plus its speedup over the serial row
-// measured in the same process. The JSON records `host_cores` next to every
-// figure: a speedup is only meaningful relative to the cores the host
+// With `--threads N` (N >= 2) every strategy gets two extra rows — the
+// sharded engine at width N with the serial commit loop, and with the
+// speculative commit path (`commit_mode` serial/speculative) — each with
+// its speedup over the serial row measured in the same process, the
+// engine's per-stage wall times (fill/propose/join/speculate/commit), and
+// the measured speculation hit rate. The JSON records `host_cores` next to
+// every figure: a speedup is only meaningful relative to the cores the host
 // actually had (a 1-core container will honestly report ~1x).
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +37,7 @@
 #include "core/simulation.hpp"
 #include "parallel/sharded_runner.hpp"
 #include "util/cli.hpp"
+#include "util/json_slice.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -39,16 +49,83 @@ using namespace proxcache;
 struct ThroughputRow {
   std::string strategy;
   std::string topology;
+  std::size_t num_nodes = 0;
   std::uint32_t threads = 1;
+  std::string commit_mode = "serial";
   std::uint64_t requests = 0;
   double seconds = 0.0;
   double requests_per_sec = 0.0;
   double speedup_vs_serial = 1.0;
   std::uint64_t batches = 0;
+  // Per-stage wall times (sharded rows; zero on serial rows).
+  double fill_seconds = 0.0;
+  double propose_seconds = 0.0;
+  double join_seconds = 0.0;
+  double speculate_seconds = 0.0;
+  double commit_seconds = 0.0;
+  // Speculation outcome counters (speculative rows).
+  double spec_hit_rate = 0.0;
+  std::uint64_t spec_hits = 0;
+  std::uint64_t spec_conflicts = 0;
+  std::uint64_t spec_decided = 0;
+  std::uint64_t spec_bypassed = 0;
+  std::uint64_t spec_windows = 0;
   Load max_load = 0;
   double comm_cost = 0.0;
   std::uint64_t peak_rss = 0;  ///< process high-water RSS after this row
 };
+
+std::string row_json(const ThroughputRow& row) {
+  std::ostringstream os;
+  os << "{\"strategy\": \"" << row.strategy << "\", "
+     << "\"topology\": \"" << row.topology << "\", "
+     << "\"num_nodes\": " << row.num_nodes << ", "
+     << "\"threads\": " << row.threads << ", "
+     << "\"commit_mode\": \"" << row.commit_mode << "\", "
+     << "\"requests\": " << row.requests << ", "
+     << "\"seconds\": " << row.seconds << ", "
+     << "\"requests_per_sec\": " << row.requests_per_sec << ", "
+     << "\"speedup_vs_serial\": " << row.speedup_vs_serial << ", "
+     << "\"batches\": " << row.batches << ", "
+     << "\"fill_seconds\": " << row.fill_seconds << ", "
+     << "\"propose_seconds\": " << row.propose_seconds << ", "
+     << "\"join_seconds\": " << row.join_seconds << ", "
+     << "\"speculate_seconds\": " << row.speculate_seconds << ", "
+     << "\"commit_seconds\": " << row.commit_seconds << ", "
+     << "\"spec_hit_rate\": " << row.spec_hit_rate << ", "
+     << "\"spec_hits\": " << row.spec_hits << ", "
+     << "\"spec_conflicts\": " << row.spec_conflicts << ", "
+     << "\"spec_decided\": " << row.spec_decided << ", "
+     << "\"spec_bypassed\": " << row.spec_bypassed << ", "
+     << "\"spec_windows\": " << row.spec_windows << ", "
+     << "\"max_load\": " << row.max_load << ", "
+     << "\"comm_cost\": " << row.comm_cost << ", "
+     << "\"peak_rss_bytes\": " << row.peak_rss << "}";
+  return os.str();
+}
+
+/// Identity of a row for merge purposes: a regenerated row replaces the
+/// stored row with the same key, other stored rows survive. `commit_mode`
+/// is part of the key so serial-commit and speculative sharded rows track
+/// separately (rows predating the field count as "serial").
+std::string row_key(const std::string& row_text) {
+  return jsonslice::extract_top_level(row_text, "strategy") + "|" +
+         jsonslice::extract_top_level(row_text, "topology") + "|" +
+         jsonslice::extract_top_level(row_text, "threads") + "|" +
+         [&] {
+           const std::string mode =
+               jsonslice::extract_top_level(row_text, "commit_mode");
+           return mode.empty() ? std::string("\"serial\"") : mode;
+         }();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
 
 }  // namespace
 
@@ -63,9 +140,17 @@ int main(int argc, char** argv) {
   args.add_int("cache", 10, "cache slots M per server");
   args.add_int("seed", 0x5EED, "root seed");
   args.add_int("threads", 1,
-               "engine width: 1 benches only the serial loop; >= 2 adds a "
-               "sharded-engine row per strategy");
+               "engine width: 1 benches only the serial loop; >= 2 adds "
+               "sharded-engine rows per strategy");
   args.add_int("batch", 4096, "sharded engine batch size");
+  args.add_int("spec-window", 32,
+               "speculation window of the sharded commit loop (requests)");
+  args.add_flag("no-speculate",
+                "skip the speculative-commit rows (serial commit only)");
+  args.add_flag("large-topology",
+                "write rows into the JSON's large_topology block (merged by "
+                "strategy/topology/threads/commit-mode) instead of "
+                "regenerating 'results'");
   args.add_string("topology", "",
                   "topology spec, e.g. 'ring(n=4096)' or "
                   "'rgg(n=4096, radius=0.03, seed=1)' (empty = torus of n "
@@ -88,7 +173,7 @@ int main(int argc, char** argv) {
   }
 
   for (const char* name : {"requests", "n", "files", "cache", "threads",
-                           "batch"}) {
+                           "batch", "spec-window"}) {
     if (args.get_int(name) <= 0) {
       std::cerr << "--" << name << " must be positive\n";
       return 2;
@@ -97,6 +182,10 @@ int main(int argc, char** argv) {
   const auto requests = static_cast<std::size_t>(args.get_int("requests"));
   const auto threads = static_cast<std::uint32_t>(args.get_int("threads"));
   const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto spec_window =
+      static_cast<std::size_t>(args.get_int("spec-window"));
+  const bool speculate = !args.get_flag("no-speculate");
+  const bool large_topology = args.get_flag("large-topology");
   ExperimentConfig base;
   base.num_nodes = static_cast<std::size_t>(args.get_int("n"));
   base.num_files = static_cast<std::size_t>(args.get_int("files"));
@@ -153,15 +242,20 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ThroughputRow> rows;
-  Table table({"strategy", "threads", "requests", "seconds", "req/s",
-               "speedup", "max load", "comm cost"});
+  Table table({"strategy", "thr", "commit", "req/s", "speedup", "hit%",
+               "fill s", "prop s", "join s", "spec s", "commit s",
+               "max load", "comm cost"});
   const auto add_row = [&](const ThroughputRow& row) {
     rows.push_back(row);
     table.add_row({Cell(row.strategy),
                    Cell(static_cast<double>(row.threads), 0),
-                   Cell(static_cast<double>(row.requests), 0),
-                   Cell(row.seconds, 3), Cell(row.requests_per_sec, 0),
+                   Cell(row.commit_mode), Cell(row.requests_per_sec, 0),
                    Cell(row.speedup_vs_serial, 2),
+                   Cell(row.spec_hit_rate * 100.0, 1),
+                   Cell(row.fill_seconds, 2), Cell(row.propose_seconds, 2),
+                   Cell(row.join_seconds, 2),
+                   Cell(row.speculate_seconds, 2),
+                   Cell(row.commit_seconds, 2),
                    Cell(static_cast<double>(row.max_load), 0),
                    Cell(row.comm_cost, 3)});
   };
@@ -171,6 +265,7 @@ int main(int argc, char** argv) {
   // once, not once per strategy.
   const SimulationContext shared(base);
   const std::string topology_label = base.resolved_topology().to_string();
+  const std::size_t num_nodes = base.resolved_nodes();
   for (const std::string& entry : cases) {
     const SimulationContext context(shared, parse_strategy_spec(entry));
     WallTimer timer;
@@ -178,6 +273,7 @@ int main(int argc, char** argv) {
     ThroughputRow serial;
     serial.strategy = entry;
     serial.topology = topology_label;
+    serial.num_nodes = num_nodes;
     serial.requests = requests;
     serial.seconds = timer.seconds();
     serial.requests_per_sec =
@@ -188,15 +284,23 @@ int main(int argc, char** argv) {
     serial.peak_rss = peak_rss_bytes();
     add_row(serial);
 
-    if (threads >= 2) {
+    if (threads < 2) continue;
+    // Two sharded rows per strategy: the plain serial commit loop and the
+    // speculative commit path, bit-identical by construction — the bench
+    // measures the throughput difference the speculation actually buys.
+    for (const bool spec_row : {false, true}) {
+      if (spec_row && !speculate) continue;
       ShardStats stats;
       WallTimer sharded_timer;
       const RunResult sharded_result =
-          ShardedRunner(context, {threads, batch}).run(0, &stats);
+          ShardedRunner(context, {threads, batch, spec_row, spec_window})
+              .run(0, &stats);
       ThroughputRow sharded;
       sharded.strategy = entry;
       sharded.topology = topology_label;
+      sharded.num_nodes = num_nodes;
       sharded.threads = threads;
+      sharded.commit_mode = spec_row ? "speculative" : "serial";
       sharded.requests = requests;
       sharded.seconds = sharded_timer.seconds();
       sharded.requests_per_sec =
@@ -208,6 +312,17 @@ int main(int argc, char** argv) {
               ? sharded.requests_per_sec / serial.requests_per_sec
               : 0.0;
       sharded.batches = stats.batches;
+      sharded.fill_seconds = stats.fill_seconds;
+      sharded.propose_seconds = stats.propose_seconds;
+      sharded.join_seconds = stats.join_seconds;
+      sharded.speculate_seconds = stats.speculate_seconds;
+      sharded.commit_seconds = stats.commit_seconds;
+      sharded.spec_hit_rate = stats.spec_hit_rate();
+      sharded.spec_hits = stats.spec_hits;
+      sharded.spec_conflicts = stats.spec_conflicts;
+      sharded.spec_decided = stats.spec_decided;
+      sharded.spec_bypassed = stats.spec_bypassed;
+      sharded.spec_windows = stats.spec_windows;
       sharded.max_load = sharded_result.max_load;
       sharded.comm_cost = sharded_result.comm_cost;
       sharded.peak_rss = peak_rss_bytes();
@@ -234,44 +349,94 @@ int main(int argc, char** argv) {
 
   const std::string json_path = args.get_string("json");
   if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (!json) {
-      std::cerr << "cannot write " << json_path << "\n";
-      return 1;
-    }
-    json << "{\n"
+    const std::string existing = read_file(json_path);
+    std::string document;
+    if (large_topology) {
+      // Merge this sweep's rows into large_topology.rows, replacing rows
+      // with the same identity and keeping everything else — including the
+      // whole `results` block and its metadata — byte-for-byte.
+      std::vector<std::string> merged;
+      std::vector<std::string> merged_keys;
+      const std::string old_block =
+          jsonslice::extract_top_level(existing, "large_topology");
+      for (const std::string& old_row : jsonslice::split_top_level_array(
+               jsonslice::extract_top_level(old_block, "rows"))) {
+        merged.push_back(old_row);
+        merged_keys.push_back(row_key(old_row));
+      }
+      for (const ThroughputRow& row : rows) {
+        const std::string text = row_json(row);
+        const std::string key = row_key(text);
+        bool replaced = false;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+          if (merged_keys[i] == key) {
+            merged[i] = text;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) {
+          merged.push_back(text);
+          merged_keys.push_back(key);
+        }
+      }
+      std::ostringstream block;
+      block << "{\n"
+            << "    \"note\": \"large-topology rows, merged across "
+               "--large-topology runs; kept out of 'results' so the "
+               "regression keys stay unique\",\n"
+            << "    \"rows\": [\n";
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        block << "      " << merged[i]
+              << (i + 1 < merged.size() ? "," : "") << "\n";
+      }
+      block << "    ]\n  }";
+      const std::string skeleton =
+          existing.empty() ? "{\n  \"bench\": \"micro_throughput\"\n}\n"
+                           : existing;
+      document =
+          jsonslice::replace_top_level(skeleton, "large_topology", block.str());
+    } else {
+      std::ostringstream os;
+      os << "{\n"
          << "  \"bench\": \"micro_throughput\",\n"
-         << "  \"topology\": \"" << base.resolved_topology().to_string()
-         << "\",\n"
-         << "  \"num_nodes\": " << base.resolved_nodes() << ",\n"
+         << "  \"topology\": \"" << topology_label << "\",\n"
+         << "  \"num_nodes\": " << num_nodes << ",\n"
          << "  \"num_files\": " << base.num_files << ",\n"
          << "  \"cache_size\": " << base.cache_size << ",\n"
          << "  \"requests_per_run\": " << requests << ",\n"
          << "  \"seed\": " << base.seed << ",\n"
          << "  \"threads\": " << threads << ",\n"
          << "  \"shard_batch\": " << batch << ",\n"
+         << "  \"spec_window\": " << spec_window << ",\n"
          << "  \"host_cores\": " << std::thread::hardware_concurrency()
          << ",\n"
          << "  \"peak_rss_bytes\": " << rss_peak << ",\n"
          << "  \"rss_growth_bytes\": " << rss_growth << ",\n"
-         << "  \"materialized_trace_bytes\": " << materialized_bytes << ",\n"
+         << "  \"materialized_trace_bytes\": " << materialized_bytes
+         << ",\n"
          << "  \"results\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const ThroughputRow& row = rows[i];
-      json << "    {\"strategy\": \"" << row.strategy << "\", "
-           << "\"topology\": \"" << row.topology << "\", "
-           << "\"threads\": " << row.threads << ", "
-           << "\"requests\": " << row.requests << ", "
-           << "\"seconds\": " << row.seconds << ", "
-           << "\"requests_per_sec\": " << row.requests_per_sec << ", "
-           << "\"speedup_vs_serial\": " << row.speedup_vs_serial << ", "
-           << "\"batches\": " << row.batches << ", "
-           << "\"max_load\": " << row.max_load << ", "
-           << "\"comm_cost\": " << row.comm_cost << ", "
-           << "\"peak_rss_bytes\": " << row.peak_rss << "}"
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << "    " << row_json(rows[i])
            << (i + 1 < rows.size() ? "," : "") << "\n";
+      }
+      os << "  ]\n}\n";
+      document = os.str();
+      // A rerun of the default sweep must not clobber the separately
+      // produced large_topology block.
+      const std::string preserved =
+          jsonslice::extract_top_level(existing, "large_topology");
+      if (!preserved.empty()) {
+        document =
+            jsonslice::replace_top_level(document, "large_topology", preserved);
+      }
     }
-    json << "  ]\n}\n";
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << document;
     std::cout << "[json] wrote " << json_path << "\n";
   }
   return 0;

@@ -2,17 +2,24 @@
 """Throughput-regression gate over micro_throughput's BENCH_throughput.json.
 
 Compares a freshly produced bench file against the baseline committed at the
-repo root, matching rows on (strategy, threads):
+repo root, matching rows on (strategy, threads, commit_mode) — rows predating
+the commit_mode field count as "serial":
 
   * every baseline row must still exist in the fresh file;
   * no matched row's requests_per_sec may drop by more than --tolerance
     (default 0.30, i.e. fail on a >30% drop);
-  * with --min-speedup S, every strategy's sharded row in the *fresh* file
-    must reach at least S x its own serial row — a same-process, same-machine
-    ratio, so it is meaningful across host generations. The check is skipped
-    (with a notice) when the fresh host had fewer cores than the engine width,
-    because a speedup is physically impossible there; pass
-    --require-cores 0 to force it anyway.
+  * with --min-speedup S, every sharded row in the *fresh* file must reach at
+    least S x its strategy's serial row — a same-process, same-machine ratio,
+    so it is meaningful across host generations. The check is skipped (with a
+    notice) when the fresh host had fewer cores than the engine width,
+    because a speedup is physically impossible there; pass --require-cores 0
+    to force it anyway;
+  * with --min-spec-hit H, every speculative fresh row of a two-choice
+    strategy must report spec_hit_rate >= H (two-choice is the policy the
+    speculation path is designed around: small uniform candidate sets, so a
+    collapsed hit rate means the engine's snapshot schedule broke, not the
+    workload). Every speculative row must additionally show the speculation
+    machinery engaging at all (hits + conflicts + decided + bypassed > 0).
 
 Absolute req/s figures move with the host, so CI should pin runner types or
 widen --tolerance rather than chase machine noise. Only the Python standard
@@ -27,8 +34,23 @@ import argparse
 import json
 import sys
 
+Key = tuple[str, int, str]
 
-def load_rows(path: str) -> tuple[dict, dict[tuple[str, int], dict]]:
+
+def row_key(row: dict) -> tuple[str, int, str]:
+    return (
+        row.get("strategy"),
+        int(row.get("threads", 1)),
+        str(row.get("commit_mode", "serial")),
+    )
+
+
+def key_label(key: Key) -> str:
+    strategy, threads, mode = key
+    return f"{strategy} threads={threads} commit={mode}"
+
+
+def load_rows(path: str) -> tuple[dict, dict[Key, dict]]:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -36,11 +58,10 @@ def load_rows(path: str) -> tuple[dict, dict[tuple[str, int], dict]]:
         sys.exit(f"error: cannot read bench file {path!r}: {error}")
     rows = {}
     for index, row in enumerate(doc.get("results", [])):
-        strategy = row.get("strategy")
-        if strategy is None:
+        if row.get("strategy") is None:
             sys.exit(f"error: result row {index} in {path!r} has no "
                      f"'strategy' field")
-        key = (strategy, int(row.get("threads", 1)))
+        key = row_key(row)
         if key in rows:
             sys.exit(f"error: duplicate row {key} in {path!r}")
         rows[key] = row
@@ -49,17 +70,16 @@ def load_rows(path: str) -> tuple[dict, dict[tuple[str, int], dict]]:
     return doc, rows
 
 
-def row_rps(row: dict, key: tuple[str, int], path: str) -> float:
-    strategy, threads = key
+def row_rps(row: dict, key: Key, path: str) -> float:
     value = row.get("requests_per_sec")
     if value is None:
-        sys.exit(f"error: row {strategy} threads={threads} in {path!r} has "
-                 f"no 'requests_per_sec' field")
+        sys.exit(f"error: row {key_label(key)} in {path!r} has no "
+                 f"'requests_per_sec' field")
     try:
         return float(value)
     except (TypeError, ValueError):
-        sys.exit(f"error: row {strategy} threads={threads} in {path!r} has "
-                 f"non-numeric requests_per_sec {value!r}")
+        sys.exit(f"error: row {key_label(key)} in {path!r} has non-numeric "
+                 f"requests_per_sec {value!r}")
 
 
 def main() -> int:
@@ -80,21 +100,24 @@ def main() -> int:
                         help="skip the --min-speedup check unless the fresh "
                              "host reported at least this many cores "
                              "(default: the fresh file's engine width)")
+    parser.add_argument("--min-spec-hit", type=float, default=None,
+                        help="min spec_hit_rate every speculative two-choice "
+                             "row in the fresh file must reach (default: off)")
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if args.min_spec_hit is not None and not 0.0 <= args.min_spec_hit <= 1.0:
+        parser.error("--min-spec-hit must be in [0, 1]")
 
     _, baseline = load_rows(args.baseline)
     fresh_doc, fresh = load_rows(args.fresh)
     failures = []
 
     for key, base_row in sorted(baseline.items()):
-        strategy, threads = key
         fresh_row = fresh.get(key)
         if fresh_row is None:
-            failures.append(
-                f"fresh file has no ({strategy}, threads={threads}) row, "
-                f"present in the baseline")
+            failures.append(f"fresh file has no ({key_label(key)}) row, "
+                            f"present in the baseline")
             continue
         base_rps = row_rps(base_row, key, args.baseline)
         fresh_rps = row_rps(fresh_row, key, args.fresh)
@@ -102,18 +125,17 @@ def main() -> int:
             # A zero/negative baseline cannot anchor a fractional-drop
             # check; any fresh value trivially passes. Say so instead of
             # dividing by it.
-            print(f"[skip] {strategy} threads={threads}: baseline recorded "
+            print(f"[skip] {key_label(key)}: baseline recorded "
                   f"{base_rps:,.0f} req/s, no drop ratio to check")
             continue
         drop = 1.0 - fresh_rps / base_rps
         marker = "FAIL" if drop > args.tolerance else "ok"
-        print(f"[{marker}] {strategy} threads={threads}: "
+        print(f"[{marker}] {key_label(key)}: "
               f"{base_rps:,.0f} -> {fresh_rps:,.0f} req/s "
               f"({-drop:+.1%} vs baseline, tolerance -{args.tolerance:.0%})")
         if drop > args.tolerance:
-            failures.append(
-                f"{strategy} threads={threads}: req/s dropped {drop:.1%} "
-                f"(> {args.tolerance:.0%})")
+            failures.append(f"{key_label(key)}: req/s dropped {drop:.1%} "
+                            f"(> {args.tolerance:.0%})")
 
     if args.min_speedup is not None:
         width = int(fresh_doc.get("threads", 1))
@@ -127,17 +149,44 @@ def main() -> int:
                   f"for an engine width of {width}; a parallel speedup is "
                   f"not measurable here")
         else:
-            for (strategy, threads), row in sorted(fresh.items()):
-                if threads < 2:
+            for key, row in sorted(fresh.items()):
+                if key[1] < 2:
                     continue
                 speedup = float(row.get("speedup_vs_serial", 0.0))
                 marker = "FAIL" if speedup < args.min_speedup else "ok"
-                print(f"[{marker}] {strategy} threads={threads}: "
+                print(f"[{marker}] {key_label(key)}: "
                       f"speedup {speedup:.2f}x (floor {args.min_speedup:.2f}x)")
                 if speedup < args.min_speedup:
-                    failures.append(
-                        f"{strategy} threads={threads}: sharded speedup "
-                        f"{speedup:.2f}x below floor {args.min_speedup:.2f}x")
+                    failures.append(f"{key_label(key)}: sharded speedup "
+                                    f"{speedup:.2f}x below floor "
+                                    f"{args.min_speedup:.2f}x")
+
+    if args.min_spec_hit is not None:
+        checked = False
+        for key, row in sorted(fresh.items()):
+            if key[2] != "speculative":
+                continue
+            checked = True
+            engaged = sum(int(row.get(field, 0)) for field in
+                          ("spec_hits", "spec_conflicts", "spec_decided",
+                           "spec_bypassed"))
+            if engaged == 0:
+                failures.append(f"{key_label(key)}: speculative row shows "
+                                f"the speculation machinery never engaged")
+                print(f"[FAIL] {key_label(key)}: speculation never engaged")
+                continue
+            if not key[0].startswith("two-choice"):
+                continue
+            hit_rate = float(row.get("spec_hit_rate", 0.0))
+            marker = "FAIL" if hit_rate < args.min_spec_hit else "ok"
+            print(f"[{marker}] {key_label(key)}: spec hit rate "
+                  f"{hit_rate:.1%} (floor {args.min_spec_hit:.0%})")
+            if hit_rate < args.min_spec_hit:
+                failures.append(f"{key_label(key)}: spec hit rate "
+                                f"{hit_rate:.1%} below floor "
+                                f"{args.min_spec_hit:.0%}")
+        if not checked:
+            print("[skip] --min-spec-hit: fresh file has no speculative rows")
 
     if failures:
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)

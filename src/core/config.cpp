@@ -56,6 +56,8 @@ void ExperimentConfig::validate() const {
                     "threads must be in [1, 1024]");
   PROXCACHE_REQUIRE(shard_batch >= 1 && shard_batch <= (1u << 22),
                     "shard_batch must be in [1, 2^22]");
+  PROXCACHE_REQUIRE(shard_spec_window >= 1 && shard_spec_window <= (1u << 20),
+                    "shard_spec_window must be in [1, 2^20]");
   StrategyRegistry::global().validate(resolved_strategy());
   if (popularity.kind == PopularityKind::Zipf) {
     PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
@@ -140,7 +142,10 @@ std::string ExperimentConfig::describe() const {
     os << "trace=" << to_string(trace.kind) << " ";
   }
   os << "strategy=" << resolved_strategy().to_string();
-  if (threads > 1) os << " threads=" << threads;
+  if (threads > 1) {
+    os << " threads=" << threads;
+    if (!shard_speculate) os << " commit=serial";
+  }
   return os.str();
 }
 

@@ -111,6 +111,17 @@ struct ExperimentConfig {
   /// Pure throughput/memory dial — results are bit-identical across all
   /// values (locked by tests/test_sharded_equivalence.cpp).
   std::size_t shard_batch = 4096;
+  /// Sharded-engine commit mode: speculative choose with validation
+  /// (default) or the plain serial commit loop. Results are bit-identical
+  /// either way — speculations are only accepted when validation proves
+  /// them equal to the serial choice (parallel/sharded_runner.hpp) — so
+  /// this too is purely a throughput dial.
+  bool shard_speculate = true;
+  /// Requests per speculation window of the sharded engine's commit loop.
+  /// Smaller windows validate against fresher snapshots (fewer conflicts);
+  /// larger windows amortize per-window synchronization. Bit-identical
+  /// results across all values.
+  std::uint32_t shard_spec_window = 32;
 
   /// The node count actually in effect: the topology registry's count for
   /// `topology_spec` when set, otherwise `num_nodes`.

@@ -24,6 +24,23 @@ inline std::uint64_t derive_seed(std::uint64_t root,
   return h;
 }
 
+/// Batched derivation, split at the last path element: `derive_seed(root,
+/// {a, b, c})` == `derive_seed_leaf(derive_seed_prefix(root, {a, b}), c)`
+/// for every path. The sharded engine's producer derives the per-request
+/// pinned strategy streams for a whole batch in one pass — the constant
+/// `(run_index, kStrategy)` prefix is hashed once per run and each ordinal
+/// costs exactly two mixes instead of re-folding the full path
+/// (tests/test_rng.cpp locks the equality).
+[[nodiscard]] inline std::uint64_t derive_seed_prefix(
+    std::uint64_t root, std::initializer_list<std::uint64_t> path) {
+  return derive_seed(root, path);
+}
+
+[[nodiscard]] inline std::uint64_t derive_seed_leaf(std::uint64_t prefix,
+                                                    std::uint64_t id) {
+  return rng::mix64(prefix ^ rng::mix64(id + 0x14057B7EF767814FULL));
+}
+
 /// Well-known phase ids so placement / trace / strategy randomness stay
 /// decoupled (changing one phase's draw count never shifts another's).
 namespace seed_phase {

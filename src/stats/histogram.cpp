@@ -1,10 +1,55 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
 namespace proxcache {
+
+namespace {
+
+/// Exact ceil(q * total) for q in (0, 1], total >= 1 — no floating-point
+/// rounding anywhere. A binary double is exactly mant * 2^(exp-53) for a
+/// 53-bit integer mant (frexp/ldexp recover both losslessly), so q * total
+/// is exactly (mant * total) * 2^(exp-53): the 117-bit product fits
+/// unsigned __int128 and the power of two is a shift, making the ceiling a
+/// pure integer computation.
+///
+/// One wrinkle: the caller's q is only known to half an ulp. The nearest
+/// double to 0.9 lies *above* 9/10, so a literal ceil of the stored value
+/// would answer 10, not 9, for the 0.9-quantile of ten singletons. Products
+/// within total * ulp(q)/2 of an integer therefore snap to that integer —
+/// at that distance the integer is the intended product. In the integer
+/// domain the tolerance is exactly total/2 product units, so the snap is
+/// itself exact; it is skipped when total >= 2^shift (huge totals, where
+/// the tolerance would span past the midpoint and q has no sub-integer
+/// precision left anyway — pure ceil applies).
+std::uint64_t ceil_fraction(double q, std::uint64_t total) {
+  int exp = 0;
+  const double frac = std::frexp(q, &exp);
+  const auto mant = static_cast<unsigned __int128>(
+      static_cast<std::uint64_t>(std::ldexp(frac, 53)));
+  const int shift = 53 - exp;
+  const unsigned __int128 product = mant * total;
+  if (shift <= 0) {  // unreachable for q <= 1; kept for local soundness
+    return static_cast<std::uint64_t>(product << -shift);
+  }
+  if (shift >= 127) {
+    return 1;  // 0 < q * total < 1: the ceiling is the first count
+  }
+  const unsigned __int128 step = static_cast<unsigned __int128>(1) << shift;
+  const unsigned __int128 floor_part = product >> shift;
+  const unsigned __int128 rem = product & (step - 1);
+  std::uint64_t target = static_cast<std::uint64_t>(floor_part);
+  if (rem != 0 && !(total < step && 2 * rem <= total)) {
+    ++target;  // plain ceil; the snap window covers the other branch
+  }
+  if (target == 0) target = 1;  // q > 0: at least the first count
+  return std::min(target, total);
+}
+
+}  // namespace
 
 void Histogram::add(std::uint64_t value, std::uint64_t count) {
   if (value >= counts_.size()) counts_.resize(value + 1, 0);
@@ -43,11 +88,16 @@ double Histogram::tail_fraction(std::uint64_t threshold) const {
 std::uint64_t Histogram::quantile(double q) const {
   PROXCACHE_REQUIRE(q > 0.0 && q <= 1.0, "quantile needs q in (0, 1]");
   if (total_ == 0) return 0;
-  const double target = q * static_cast<double>(total_);
+  // The q-quantile is the smallest value whose cumulative count reaches
+  // ceil(q * total). Computed exactly in integers: the old double
+  // comparison mis-seated boundary quantiles (q * total carries rounding
+  // error in either direction — 0.7 * 10 is not 7.0 in binary — and
+  // casting cumulative to double loses exactness past 2^53).
+  const std::uint64_t target = ceil_fraction(q, total_);
   std::uint64_t cumulative = 0;
   for (std::size_t v = 0; v < counts_.size(); ++v) {
     cumulative += counts_[v];
-    if (static_cast<double>(cumulative) >= target) return v;
+    if (cumulative >= target) return v;
   }
   return max_value();
 }

@@ -1,0 +1,177 @@
+#include "util/json_slice.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace proxcache::jsonslice {
+
+namespace {
+
+/// Advance past the string literal whose opening quote sits at `i` (which
+/// must index a '"'). Returns the index one past the closing quote, or
+/// `json.size()` when the literal never closes.
+std::size_t skip_string(std::string_view json, std::size_t i) {
+  ++i;  // opening quote
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '\\') {
+      i += 2;  // escaped character (also covers \" and \\)
+      continue;
+    }
+    if (c == '"') return i + 1;
+    ++i;
+  }
+  return json.size();
+}
+
+std::size_t skip_whitespace(std::string_view json, std::size_t i) {
+  while (i < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+/// End index (exclusive) of the value starting at `i`: a balanced {...} or
+/// [...] span, a string literal, or a bare scalar running to the next
+/// depth-0 ',' / '}' / ']'. Returns `json.size()` when unterminated.
+std::size_t value_end(std::string_view json, std::size_t i) {
+  if (i >= json.size()) return json.size();
+  if (json[i] == '"') return skip_string(json, i);
+  if (json[i] == '{' || json[i] == '[') {
+    int depth = 0;
+    while (i < json.size()) {
+      const char c = json[i];
+      if (c == '"') {
+        i = skip_string(json, i);
+        continue;
+      }
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return json.size();
+  }
+  while (i < json.size() && json[i] != ',' && json[i] != '}' &&
+         json[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(json[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+/// Locate top-level `key`'s value span [value_begin, value_stop) in the
+/// object `json`. On a miss, `close_brace` still reports the index of the
+/// object's closing brace (npos when the object never closes) so callers
+/// can append. Returns true on a hit.
+bool find_top_level(std::string_view json, std::string_view key,
+                    std::size_t& value_begin, std::size_t& value_stop,
+                    std::size_t& close_brace) {
+  value_begin = value_stop = 0;
+  close_brace = std::string_view::npos;
+  std::size_t i = skip_whitespace(json, 0);
+  if (i >= json.size() || json[i] != '{') return false;
+  ++i;
+  while (i < json.size()) {
+    const char c = json[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      close_brace = i;
+      return false;
+    }
+    if (c == ',') {
+      ++i;
+      continue;
+    }
+    if (c != '"') return false;  // keys only at depth 1 in an object
+    const std::size_t key_end = skip_string(json, i);
+    const std::string_view name =
+        json.substr(i + 1, key_end - i - 2);  // without the quotes
+    std::size_t after = skip_whitespace(json, key_end);
+    if (after >= json.size() || json[after] != ':') return false;
+    after = skip_whitespace(json, after + 1);
+    const std::size_t end = value_end(json, after);
+    if (name == key) {
+      value_begin = after;
+      value_stop = end;
+      return true;
+    }
+    // Not ours: step over the value (it may contain nested same-named
+    // keys, which must not match).
+    i = end;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string extract_top_level(std::string_view json, std::string_view key) {
+  std::size_t begin = 0;
+  std::size_t stop = 0;
+  std::size_t close = 0;
+  if (!find_top_level(json, key, begin, stop, close)) return {};
+  return std::string(json.substr(begin, stop - begin));
+}
+
+std::string replace_top_level(std::string_view json, std::string_view key,
+                              std::string_view value) {
+  std::size_t begin = 0;
+  std::size_t stop = 0;
+  std::size_t close = 0;
+  std::string out;
+  if (find_top_level(json, key, begin, stop, close)) {
+    out.append(json.substr(0, begin));
+    out.append(value);
+    out.append(json.substr(stop));
+    return out;
+  }
+  if (close == std::string_view::npos) {
+    // Not a scannable object: start one fresh.
+    out = "{\n  \"";
+    out.append(key);
+    out.append("\": ");
+    out.append(value);
+    out.append("\n}\n");
+    return out;
+  }
+  // Append before the closing brace; a comma is needed unless the object
+  // was empty.
+  std::size_t last = close;
+  while (last > 0 &&
+         std::isspace(static_cast<unsigned char>(json[last - 1]))) {
+    --last;
+  }
+  const bool empty_object = last > 0 && json[last - 1] == '{';
+  out.append(json.substr(0, last));
+  out.append(empty_object ? "\n  \"" : ",\n  \"");
+  out.append(key);
+  out.append("\": ");
+  out.append(value);
+  out.append("\n");
+  out.append(json.substr(close));
+  return out;
+}
+
+std::vector<std::string> split_top_level_array(std::string_view array_text) {
+  std::vector<std::string> elements;
+  std::size_t i = skip_whitespace(array_text, 0);
+  if (i >= array_text.size() || array_text[i] != '[') return elements;
+  ++i;
+  while (true) {
+    i = skip_whitespace(array_text, i);
+    if (i >= array_text.size()) return elements;  // unterminated
+    if (array_text[i] == ']') return elements;
+    const std::size_t end = value_end(array_text, i);
+    elements.emplace_back(array_text.substr(i, end - i));
+    i = skip_whitespace(array_text, end);
+    if (i < array_text.size() && array_text[i] == ',') ++i;
+  }
+}
+
+}  // namespace proxcache::jsonslice

@@ -1,0 +1,46 @@
+#pragma once
+/// \file json_slice.hpp
+/// Minimal read-side JSON slicing: extract the raw text of one top-level
+/// key's value from a JSON object document.
+///
+/// The repo's benches emit JSON by hand and deliberately carry no JSON
+/// library dependency; what they do need is to *preserve* sibling blocks
+/// they did not regenerate (BENCH_throughput.json holds both the default
+/// `results` sweep and the separately-produced `large_topology` rows — a
+/// rerun of one must not clobber the other). That requires locating one
+/// top-level value verbatim, not parsing the document: this scanner tracks
+/// brace/bracket depth, skips string literals (with escapes), and returns
+/// the value's exact character span, so re-emitting it round-trips
+/// byte-for-byte.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proxcache::jsonslice {
+
+/// Raw text of the value of top-level `key` in the JSON object `json`
+/// (whitespace-trimmed, e.g. `{"rows": [...]}` or `42` or `"torus"`).
+/// Returns an empty string when the document has no such top-level key or
+/// the document is not a well-formed-enough object to scan. Nested objects
+/// may contain a same-named key; only depth-1 keys match.
+[[nodiscard]] std::string extract_top_level(std::string_view json,
+                                            std::string_view key);
+
+/// Return `json` with top-level `key`'s value replaced by `value` (raw JSON
+/// text), appending the pair before the object's closing brace when the key
+/// is absent. Every other byte of the document is preserved verbatim. When
+/// `json` is not a scannable object, returns a fresh two-space-indented
+/// object holding only the pair.
+[[nodiscard]] std::string replace_top_level(std::string_view json,
+                                            std::string_view key,
+                                            std::string_view value);
+
+/// Split the raw text of a JSON array (as returned by extract_top_level)
+/// into its top-level elements, each whitespace-trimmed and returned
+/// verbatim. Returns an empty vector when `array_text` is not a scannable
+/// array.
+[[nodiscard]] std::vector<std::string> split_top_level_array(
+    std::string_view array_text);
+
+}  // namespace proxcache::jsonslice

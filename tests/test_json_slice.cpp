@@ -1,0 +1,107 @@
+// Tests for util/json_slice: the benches' preserve-sibling-block scanner.
+// The contract that matters is byte-exact round-tripping of the extracted
+// value (a rewrite re-emits it verbatim) and immunity to look-alike content
+// inside string literals and nested objects.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json_slice.hpp"
+
+namespace proxcache {
+namespace {
+
+using jsonslice::extract_top_level;
+
+TEST(JsonSlice, ScalarStringAndNumberValues) {
+  const std::string doc =
+      R"({"bench": "micro_throughput", "threads": 4, "ratio": 1.5e-3,)"
+      R"( "flag": true})";
+  EXPECT_EQ(extract_top_level(doc, "bench"), "\"micro_throughput\"");
+  EXPECT_EQ(extract_top_level(doc, "threads"), "4");
+  EXPECT_EQ(extract_top_level(doc, "ratio"), "1.5e-3");
+  EXPECT_EQ(extract_top_level(doc, "flag"), "true");
+}
+
+TEST(JsonSlice, BalancedObjectAndArrayValues) {
+  const std::string doc = R"({
+  "results": [
+    {"strategy": "two-choice", "rows": [1, 2, {"k": [3]}]},
+    {"strategy": "nearest"}
+  ],
+  "large_topology": {"note": "kept", "rows": [{"n": 1000000}]}
+})";
+  EXPECT_EQ(extract_top_level(doc, "large_topology"),
+            R"({"note": "kept", "rows": [{"n": 1000000}]})");
+  const std::string results = extract_top_level(doc, "results");
+  EXPECT_EQ(results.front(), '[');
+  EXPECT_EQ(results.back(), ']');
+  EXPECT_NE(results.find("{\"k\": [3]}"), std::string::npos);
+}
+
+TEST(JsonSlice, BracesInsideStringsDoNotConfuseDepth) {
+  const std::string doc =
+      R"({"note": "a } tricky ] \" string { with [ everything",)"
+      R"( "value": {"inner": "also } here"}})";
+  EXPECT_EQ(extract_top_level(doc, "value"), R"({"inner": "also } here"})");
+  EXPECT_EQ(extract_top_level(doc, "note"),
+            R"("a } tricky ] \" string { with [ everything")");
+}
+
+TEST(JsonSlice, NestedSameNamedKeyDoesNotMatch) {
+  const std::string doc =
+      R"({"outer": {"target": "wrong"}, "target": "right"})";
+  EXPECT_EQ(extract_top_level(doc, "target"), "\"right\"");
+}
+
+TEST(JsonSlice, MissingKeyAndNonObjectsReturnEmpty) {
+  EXPECT_EQ(extract_top_level(R"({"a": 1})", "b"), "");
+  EXPECT_EQ(extract_top_level("[1, 2, 3]", "a"), "");
+  EXPECT_EQ(extract_top_level("", "a"), "");
+  EXPECT_EQ(extract_top_level("   \n ", "a"), "");
+  EXPECT_EQ(extract_top_level(R"({"a" 1})", "a"), "");  // missing colon
+}
+
+TEST(JsonSlice, ReplaceExistingKeyPreservesEveryOtherByte) {
+  const std::string doc =
+      "{\n  \"a\": 1,\n  \"target\": [1, 2],\n  \"z\": \"end\"\n}\n";
+  EXPECT_EQ(jsonslice::replace_top_level(doc, "target", "{\"new\": true}"),
+            "{\n  \"a\": 1,\n  \"target\": {\"new\": true},\n"
+            "  \"z\": \"end\"\n}\n");
+}
+
+TEST(JsonSlice, ReplaceAppendsWhenAbsent) {
+  EXPECT_EQ(jsonslice::replace_top_level("{\n  \"a\": 1\n}\n", "b", "[2]"),
+            "{\n  \"a\": 1,\n  \"b\": [2]\n}\n");
+  EXPECT_EQ(jsonslice::replace_top_level("{}", "b", "[2]"),
+            "{\n  \"b\": [2]\n}");
+  // Non-objects start a fresh document instead of corrupting anything.
+  EXPECT_EQ(jsonslice::replace_top_level("", "b", "[2]"),
+            "{\n  \"b\": [2]\n}\n");
+}
+
+TEST(JsonSlice, SplitArrayYieldsVerbatimElements) {
+  const auto rows = jsonslice::split_top_level_array(
+      R"([ {"a": [1, 2], "s": "x,y"} , 7, "z", [3, [4]] ])");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], R"({"a": [1, 2], "s": "x,y"})");
+  EXPECT_EQ(rows[1], "7");
+  EXPECT_EQ(rows[2], "\"z\"");
+  EXPECT_EQ(rows[3], "[3, [4]]");
+  EXPECT_TRUE(jsonslice::split_top_level_array("not an array").empty());
+  EXPECT_TRUE(jsonslice::split_top_level_array("[]").empty());
+}
+
+TEST(JsonSlice, RoundTripsTheCommittedBenchShape) {
+  // The real use: rewrite `results`, re-emit `large_topology` verbatim.
+  const std::string block =
+      "{\n    \"note\": \"million-node rows\",\n    \"rows\": [\n"
+      "      {\"strategy\": \"nearest\", \"requests_per_sec\": 167171}\n"
+      "    ]\n  }";
+  const std::string doc =
+      "{\n  \"results\": [],\n  \"large_topology\": " + block + "\n}\n";
+  EXPECT_EQ(extract_top_level(doc, "large_topology"), block);
+}
+
+}  // namespace
+}  // namespace proxcache

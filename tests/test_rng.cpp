@@ -189,6 +189,27 @@ TEST(Seeding, DeriveSeedSeparatesPaths) {
   EXPECT_NE(derive_seed(root, {}), derive_seed(root + 1, {}));
 }
 
+// The batched-derivation identity seeding.hpp promises: splitting the path
+// at its last element — prefix hashed once, leaf folded per ordinal — must
+// reproduce the full derivation exactly. The sharded producer relies on
+// this to pin one strategy stream per request at two mixes per ordinal.
+TEST(Seeding, PrefixPlusLeafEqualsFullDerivation) {
+  const std::uint64_t root = 0x5EED;
+  for (const std::uint64_t run : {0ull, 1ull, 7ull, 0xFFFFFFFFULL}) {
+    const std::uint64_t prefix =
+        derive_seed_prefix(root, {run, seed_phase::kStrategy});
+    for (const std::uint64_t ordinal :
+         {0ull, 1ull, 12345ull, ~0ull}) {
+      EXPECT_EQ(derive_seed_leaf(prefix, ordinal),
+                derive_seed(root, {run, seed_phase::kStrategy, ordinal}))
+          << "run " << run << " ordinal " << ordinal;
+    }
+  }
+  // The identity holds for any split point, including a length-1 path.
+  EXPECT_EQ(derive_seed_leaf(derive_seed_prefix(root, {}), 9),
+            derive_seed(root, {9}));
+}
+
 TEST(Seeding, PhaseConstantsAreDistinct) {
   const std::set<std::uint64_t> phases = {
       seed_phase::kPlacement, seed_phase::kTrace, seed_phase::kStrategy,

@@ -2,10 +2,13 @@
 // (parallel/sharded_runner.hpp), mirroring test_streaming_equivalence: for
 // every scenario preset × all four strategies × torus/ring/rgg, and for the
 // stale/fallback/policy corners, the sharded run must be bit-identical
-// across thread counts {2, 4, 8} *and* to the engine's own serial schedule
-// (a width-1 ShardedRunner executing the identical propose/commit sequence
-// inline). That is the engine's determinism contract: no RunResult field
-// may ever depend on thread count, batch size, or scheduling.
+// across thread counts {2, 4, 8}, across commit modes (speculative vs
+// serial re-choose — validation accepts a speculation only when it is
+// provably the value the serial schedule would compute), *and* to the
+// engine's own serial schedule (a width-1 ShardedRunner executing the
+// identical propose/commit sequence inline). That is the engine's
+// determinism contract: no RunResult field may ever depend on thread
+// count, batch size, speculation window, or scheduling.
 //
 // Note the contract boundary: the sharded engine is deliberately *not*
 // bit-identical to the `threads = 1` serial loop (per-request pinned
@@ -45,24 +48,35 @@ void expect_bit_identical(const RunResult& reference, const RunResult& other,
       << label;
 }
 
-/// Serial reference vs threads ∈ {2, 4, 8}, both through the
-/// SimulationContext dispatch (`config.threads`) and the direct engine.
+/// Serial reference vs threads ∈ {2, 4, 8} (speculation on, the default),
+/// vs the serial-commit mode (speculation off), and through the
+/// SimulationContext dispatch (`config.threads`). Every differential is
+/// against the same width-1 reference, so this simultaneously proves the
+/// thread-invariance and the speculative-vs-serial-commit equivalence for
+/// each scenario that calls it.
 void expect_thread_invariant(const SimulationContext& context,
                              const std::string& label,
                              std::uint64_t runs = 2) {
+  const std::size_t batch = context.config().shard_batch;
   for (std::uint64_t run_index = 0; run_index < runs; ++run_index) {
     const std::string run_label = label + " run " + std::to_string(run_index);
     const RunResult reference =
-        ShardedRunner(context, {1, context.config().shard_batch})
-            .run(run_index);
+        ShardedRunner(context, {1, batch}).run(run_index);
     for (const std::uint32_t threads : {2u, 4u, 8u}) {
       const RunResult sharded =
-          ShardedRunner(context, {threads, context.config().shard_batch})
-              .run(run_index);
+          ShardedRunner(context, {threads, batch}).run(run_index);
       expect_bit_identical(
           reference, sharded,
           run_label + " threads=" + std::to_string(threads));
     }
+    // Commit mode is a pure throughput dial: turning speculation off must
+    // reproduce the identical result (here at width 4; the widths above
+    // already pin the speculative side).
+    expect_bit_identical(
+        reference,
+        ShardedRunner(context, {4, batch, /*speculate=*/false})
+            .run(run_index),
+        run_label + " commit=serial");
     // The config knob routes through the same engine.
     ExperimentConfig config = context.config();
     config.threads = 2;
@@ -199,6 +213,104 @@ TEST(ShardedEquivalence, BatchSizeInvariance) {
                                   std::size_t{64}, std::size_t{1000}}) {
     expect_bit_identical(reference, ShardedRunner(context, {4, batch}).run(0),
                          "batch=" + std::to_string(batch));
+  }
+}
+
+// The speculation window, like the batch, is a pure throughput dial: a
+// degenerate window of 1 (snapshot every request), a prime 5, and the
+// default 32 must all match the serial-commit result bit-for-bit. The
+// config knobs route through the same engine.
+TEST(ShardedEquivalence, SpecWindowInvariance) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.strategy_spec = parse_strategy_spec("two-choice");
+  config.shard_batch = 96;
+  config.seed = 0x59EC;
+  const SimulationContext context(config);
+  const RunResult reference =
+      ShardedRunner(context, {4, 96, /*speculate=*/false}).run(0);
+  for (const std::size_t window :
+       {std::size_t{1}, std::size_t{5}, std::size_t{32}}) {
+    expect_bit_identical(
+        reference,
+        ShardedRunner(context, {4, 96, true, window}).run(0),
+        "spec_window=" + std::to_string(window));
+  }
+  ExperimentConfig knobs = config;
+  knobs.threads = 4;
+  knobs.shard_speculate = true;
+  knobs.shard_spec_window = 5;
+  expect_bit_identical(reference, SimulationContext(knobs).run(0),
+                       "via config.shard_spec_window");
+  knobs.shard_speculate = false;
+  expect_bit_identical(reference, SimulationContext(knobs).run(0),
+                       "via config.shard_speculate=false");
+}
+
+// Forced-conflict stress: a tiny node set under a hotspot trace makes a
+// candidate-load change within the staleness window near-certain, so the
+// validation/re-choose path runs constantly. The result must still be
+// bit-identical to the serial-commit mode at width 8 — conflicts may cost
+// time, never correctness — and the run must actually provoke conflicts,
+// or the stress proves nothing.
+TEST(ShardedEquivalence, ForcedConflictHotspotStress) {
+  ExperimentConfig config;
+  config.num_nodes = 64;
+  config.num_files = 10;
+  config.cache_size = 4;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 2.5;  // head file takes most of the trace
+  config.strategy_spec = parse_strategy_spec("two-choice");
+  config.shard_batch = 256;
+  config.seed = 0x5F0;
+  const SimulationContext context(config);
+  const RunResult reference =
+      ShardedRunner(context, {8, 256, /*speculate=*/false}).run(0);
+  ShardStats stats;
+  const RunResult speculative =
+      ShardedRunner(context, {8, 256, true, 32}).run(0, &stats);
+  expect_bit_identical(reference, speculative, "hotspot width=8");
+  EXPECT_GT(stats.spec_attempted, 0u) << "hotspot must engage speculation";
+  EXPECT_GT(stats.spec_conflicts, 0u)
+      << "hotspot must provoke conflicts or the re-choose path is untested";
+  EXPECT_GT(stats.spec_hits, 0u)
+      << "even a hotspot leaves some windows unchanged";
+}
+
+// The speculation counters are schedule-determined, not race-determined:
+// which requests are attempted, which windows conflict, and which
+// proposals bypass the cap all follow from the trace and the windowed
+// snapshot schedule, so every counter must be identical at every width.
+TEST(ShardedEquivalence, SpecCountersInvariantAcrossWidths) {
+  ExperimentConfig config;
+  config.num_nodes = 144;
+  config.num_files = 40;
+  config.cache_size = 5;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 1.4;
+  config.strategy_spec = parse_strategy_spec("two-choice(r=4)");
+  config.shard_batch = 128;
+  config.seed = 0xC0DE;
+  const SimulationContext context(config);
+  ShardStats reference;
+  const RunResult reference_result =
+      ShardedRunner(context, {1, 128}).run(0, &reference);
+  EXPECT_GT(reference.spec_windows, 0u);
+  EXPECT_GT(reference.spec_attempted, 0u);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const std::string label = "threads=" + std::to_string(threads);
+    ShardStats stats;
+    const RunResult result =
+        ShardedRunner(context, {threads, 128}).run(0, &stats);
+    expect_bit_identical(reference_result, result, label);
+    EXPECT_EQ(stats.spec_windows, reference.spec_windows) << label;
+    EXPECT_EQ(stats.spec_attempted, reference.spec_attempted) << label;
+    EXPECT_EQ(stats.spec_hits, reference.spec_hits) << label;
+    EXPECT_EQ(stats.spec_conflicts, reference.spec_conflicts) << label;
+    EXPECT_EQ(stats.spec_decided, reference.spec_decided) << label;
+    EXPECT_EQ(stats.spec_bypassed, reference.spec_bypassed) << label;
   }
 }
 

@@ -100,6 +100,50 @@ TEST(Histogram, Quantiles) {
   EXPECT_THROW(static_cast<void>(h.quantile(1.1)), std::invalid_argument);
 }
 
+// The quantile boundary must be exact: the q-quantile is the smallest value
+// whose cumulative count reaches ceil(q * total), computed in integers. A
+// double product mis-seats exactly these cases (0.7 * 10 != 7 in binary).
+TEST(Histogram, QuantileExactBoundaries) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.add(v);
+  // q * total lands exactly on a cumulative count: the boundary value wins.
+  EXPECT_EQ(h.quantile(0.1), 1u);
+  EXPECT_EQ(h.quantile(0.2), 2u);
+  EXPECT_EQ(h.quantile(0.3), 3u);
+  EXPECT_EQ(h.quantile(0.4), 4u);
+  EXPECT_EQ(h.quantile(0.5), 5u);
+  EXPECT_EQ(h.quantile(0.6), 6u);
+  EXPECT_EQ(h.quantile(0.7), 7u);  // stored 0.7 sits just below 7/10
+  EXPECT_EQ(h.quantile(0.8), 8u);
+  EXPECT_EQ(h.quantile(0.9), 9u);  // stored 0.9 sits just above 9/10
+  // Just past a boundary: the next value must win (ceil, not round).
+  EXPECT_EQ(h.quantile(0.70001), 8u);
+  EXPECT_EQ(h.quantile(0.901), 10u);
+  // Below the first boundary: ceil of a positive fraction is 1.
+  EXPECT_EQ(h.quantile(0.05), 1u);
+  EXPECT_EQ(h.quantile(1e-300), 1u);
+}
+
+// Exactness must survive totals past 2^53, where double arithmetic cannot
+// even represent the cumulative counts distinctly.
+TEST(Histogram, QuantileHugeTotals) {
+  const std::uint64_t big = (1ull << 53) + 1;
+  Histogram h;
+  h.add(0, big);
+  h.add(1, 1);
+  h.add(2, big);
+  // total = 2^54 + 3; ceil(0.5 * total) = 2^53 + 2 = count(0) + 1, so the
+  // median is 1 — a double comparison collapses the +1 and answers 0.
+  EXPECT_EQ(h.quantile(0.5), 1u);
+  EXPECT_EQ(h.quantile(1.0), 2u);
+  Histogram skew;
+  skew.add(4, (1ull << 54));
+  skew.add(7, 3);
+  // ceil(q * total) > count(4) only in the last 3 slots of 2^54 + 3.
+  EXPECT_EQ(skew.quantile(0.999999), 4u);
+  EXPECT_EQ(skew.quantile(1.0), 7u);
+}
+
 TEST(Histogram, MergeAddsCounts) {
   Histogram a;
   a.add(1, 2);
