@@ -5,17 +5,27 @@
 // the O(num_nodes) memory contract of SimulationContext::run.
 //
 // Emits BENCH_throughput.json (the repo's perf-trajectory file; CI uploads
-// it as a workflow artifact). The file holds two independent blocks —
-// `results` (this default sweep) and `large_topology` (million-node rows
-// produced with --large-topology) — and a run regenerates only its own
-// block, preserving the other verbatim (util/json_slice.hpp).
+// it as a workflow artifact). The file holds three independent blocks —
+// `results` (this default sweep), `large_topology` (million-node rows
+// produced with --large-topology), and `dynamic` (event-engine rows
+// produced with --dynamic) — and a run regenerates only its own block,
+// preserving the others verbatim (util/json_slice.hpp).
 //
 //   $ ./micro_throughput                      # 10M streamed requests/strategy
 //   $ ./micro_throughput --requests 2000000   # faster CI setting
 //   $ ./micro_throughput --topology "ring(n=4096)"   # non-lattice network
 //   $ ./micro_throughput --threads 8          # + sharded-engine rows
-//   $ ./micro_throughput --large-topology --topology "torus(side=1000)" \
-//       --strategy nearest                    # merge into large_topology
+//   $ ./micro_throughput --large-topology --topology "torus(side=1000)"
+//                                             # merge into large_topology
+//   $ ./micro_throughput --dynamic --policy "lru(capacity=4)"
+//                                             # merge into dynamic
+//
+// With `--dynamic` the streaming sweep is skipped entirely: the bench
+// drives the discrete-event engine (src/event/) over every requested
+// strategy x cache-policy pair and reports events/sec, merging rows into
+// the JSON's `dynamic` block (keyed strategy|policy|topology) the same
+// way --large-topology merges into `large_topology` — existing rows with
+// other keys, and both sibling blocks, survive byte-for-byte.
 //
 // With `--threads N` (N >= 2) every strategy gets two extra rows — the
 // sharded engine at width N with the serial commit loop, and with the
@@ -26,6 +36,7 @@
 // every figure: a speedup is only meaningful relative to the cores the host
 // actually had (a 1-core container will honestly report ~1x).
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -35,7 +46,9 @@
 #include "bench_common.hpp"
 #include "core/request.hpp"
 #include "core/simulation.hpp"
+#include "event/engine.hpp"
 #include "parallel/sharded_runner.hpp"
+#include "strategy/registry.hpp"
 #include "util/cli.hpp"
 #include "util/json_slice.hpp"
 #include "util/memory.hpp"
@@ -119,12 +132,104 @@ std::string row_key(const std::string& row_text) {
          }();
 }
 
+/// One event-engine row (`--dynamic`): a strategy x cache-policy pair on
+/// one topology, measured in processed events per wall second.
+struct DynamicRow {
+  std::string strategy;
+  std::string policy;
+  std::string topology;
+  std::size_t num_nodes = 0;
+  double arrival_rate = 0.0;
+  double horizon = 0.0;
+  double hop_latency = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t admitted = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double hit_rate = 0.0;
+  double p99_sojourn = 0.0;
+  std::uint64_t max_queue = 0;
+  std::uint64_t peak_rss = 0;
+};
+
+std::string dynamic_row_json(const DynamicRow& row) {
+  std::ostringstream os;
+  os << "{\"strategy\": \"" << row.strategy << "\", "
+     << "\"policy\": \"" << row.policy << "\", "
+     << "\"topology\": \"" << row.topology << "\", "
+     << "\"num_nodes\": " << row.num_nodes << ", "
+     << "\"arrival_rate\": " << row.arrival_rate << ", "
+     << "\"horizon\": " << row.horizon << ", "
+     << "\"hop_latency\": " << row.hop_latency << ", "
+     << "\"events\": " << row.events << ", "
+     << "\"admitted\": " << row.admitted << ", "
+     << "\"seconds\": " << row.seconds << ", "
+     << "\"events_per_sec\": " << row.events_per_sec << ", "
+     << "\"hit_rate\": " << row.hit_rate << ", "
+     << "\"p99_sojourn\": " << row.p99_sojourn << ", "
+     << "\"max_queue\": " << row.max_queue << ", "
+     << "\"peak_rss_bytes\": " << row.peak_rss << "}";
+  return os.str();
+}
+
+/// Identity of a dynamic row: the strategy/policy/topology triple.
+std::string dynamic_row_key(const std::string& row_text) {
+  return jsonslice::extract_top_level(row_text, "strategy") + "|" +
+         jsonslice::extract_top_level(row_text, "policy") + "|" +
+         jsonslice::extract_top_level(row_text, "topology");
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return {};
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
+}
+
+/// Merge `fresh_rows` into `existing`'s top-level `block_name` block
+/// (shape `{"note": ..., "rows": [...]}`): a fresh row replaces the stored
+/// row with the same key, every other stored row — and every sibling
+/// top-level block — survives byte-for-byte.
+std::string merge_rows_block(
+    const std::string& existing, const std::string& block_name,
+    const std::string& note, const std::vector<std::string>& fresh_rows,
+    const std::function<std::string(const std::string&)>& key_of) {
+  std::vector<std::string> merged;
+  std::vector<std::string> merged_keys;
+  const std::string old_block =
+      jsonslice::extract_top_level(existing, block_name);
+  for (const std::string& old_row : jsonslice::split_top_level_array(
+           jsonslice::extract_top_level(old_block, "rows"))) {
+    merged.push_back(old_row);
+    merged_keys.push_back(key_of(old_row));
+  }
+  for (const std::string& text : fresh_rows) {
+    const std::string key = key_of(text);
+    bool replaced = false;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      if (merged_keys[i] == key) {
+        merged[i] = text;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      merged.push_back(text);
+      merged_keys.push_back(key);
+    }
+  }
+  std::ostringstream block;
+  block << "{\n    \"note\": \"" << note << "\",\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    block << "      " << merged[i] << (i + 1 < merged.size() ? "," : "")
+          << "\n";
+  }
+  block << "    ]\n  }";
+  const std::string skeleton =
+      existing.empty() ? "{\n  \"bench\": \"micro_throughput\"\n}\n"
+                       : existing;
+  return jsonslice::replace_top_level(skeleton, block_name, block.str());
 }
 
 }  // namespace
@@ -151,6 +256,18 @@ int main(int argc, char** argv) {
                 "write rows into the JSON's large_topology block (merged by "
                 "strategy/topology/threads/commit-mode) instead of "
                 "regenerating 'results'");
+  args.add_flag("dynamic",
+                "bench the discrete-event dynamic engine instead of the "
+                "streaming sweep; rows (strategy x policy) merge into the "
+                "JSON's dynamic block");
+  args.add_double("arrival", 0.7, "--dynamic: per-node Poisson arrival rate");
+  args.add_double("horizon", 200.0, "--dynamic: simulated time units");
+  args.add_double("hop-latency", 0.1,
+                  "--dynamic: response propagation time per topology hop");
+  args.add_string_list(
+      "policy", {},
+      "cache-policy spec for --dynamic rows (repeatable; default: static, "
+      "lru(capacity=4), ewma(capacity=4, decay=0.2))");
   args.add_string("topology", "",
                   "topology spec, e.g. 'ring(n=4096)' or "
                   "'rgg(n=4096, radius=0.03, seed=1)' (empty = torus of n "
@@ -200,6 +317,113 @@ int main(int argc, char** argv) {
       std::cerr << error.what() << "\n";
       return 2;
     }
+  }
+
+  if (args.get_flag("dynamic")) {
+    // Event-engine sweep: strategy x cache-policy pairs through
+    // run_dynamic, reported in processed events per wall second. The
+    // streaming sweep (and its RSS contract) is not touched; the rows
+    // merge into the JSON's `dynamic` block.
+    std::vector<std::string> strategies = args.get_string_list("strategy");
+    if (strategies.empty()) {
+      strategies = {"nearest", "two-choice", "least-loaded(r=8)"};
+    }
+    std::vector<std::string> policies = args.get_string_list("policy");
+    if (policies.empty()) {
+      // Capacities below M trim the seeded placement, so the evolving
+      // policies actually churn (misses, fetches, evictions) instead of
+      // serving every completion from the frozen seed.
+      policies = {"static", "lru(capacity=4)", "ewma(capacity=4, decay=0.2)"};
+    }
+    DynamicConfig dynamic;
+    dynamic.network = base;
+    dynamic.network.trace.arrival_rate = args.get_double("arrival");
+    dynamic.horizon = args.get_double("horizon");
+    dynamic.hop_latency = args.get_double("hop-latency");
+    try {
+      (void)parse_validated_specs(strategies);
+      (void)parse_validated_policy_specs(policies);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+
+    const std::string topology_label = base.resolved_topology().to_string();
+    std::cout << "== micro_throughput --dynamic ==\n"
+              << "event engine: topology=" << topology_label << " (n="
+              << base.resolved_nodes() << "), K=" << base.num_files
+              << ", M=" << base.cache_size
+              << ", lambda=" << dynamic.network.trace.arrival_rate
+              << ", horizon=" << dynamic.horizon
+              << ", hop latency=" << dynamic.hop_latency << "\n\n";
+    const bench::ScopedBenchTimer bench_timer("micro_throughput --dynamic");
+
+    std::vector<std::string> row_texts;
+    Table table({"strategy", "policy", "events/s", "events", "hit%",
+                 "p99 sojourn", "max queue", "s"});
+    for (const std::string& strategy : strategies) {
+      for (const std::string& policy : policies) {
+        dynamic.network.strategy_spec = parse_strategy_spec(strategy);
+        dynamic.cache_policy = parse_cache_policy_spec(policy);
+        WallTimer timer;
+        DynamicResult result;
+        try {
+          result = run_dynamic(dynamic, base.seed);
+        } catch (const std::invalid_argument& error) {
+          std::cerr << strategy << " / " << policy << ": " << error.what()
+                    << "\n";
+          return 2;
+        }
+        DynamicRow row;
+        row.strategy = strategy;
+        row.policy = policy;
+        row.topology = topology_label;
+        row.num_nodes = base.resolved_nodes();
+        row.arrival_rate = dynamic.network.trace.arrival_rate;
+        row.horizon = dynamic.horizon;
+        row.hop_latency = dynamic.hop_latency;
+        row.events = result.events;
+        row.admitted = result.admitted;
+        row.seconds = timer.seconds();
+        row.events_per_sec =
+            row.seconds > 0.0
+                ? static_cast<double>(result.events) / row.seconds
+                : 0.0;
+        row.hit_rate = result.hit_rate;
+        row.p99_sojourn = result.p99_sojourn;
+        row.max_queue = result.queueing.max_queue;
+        row.peak_rss = peak_rss_bytes();
+        row_texts.push_back(dynamic_row_json(row));
+        table.add_row({Cell(row.strategy), Cell(row.policy),
+                       Cell(row.events_per_sec, 0),
+                       Cell(static_cast<double>(row.events), 0),
+                       Cell(row.hit_rate * 100.0, 1),
+                       Cell(row.p99_sojourn, 3),
+                       Cell(static_cast<double>(row.max_queue), 0),
+                       Cell(row.seconds, 2)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    bench::print_verdict(!row_texts.empty(),
+                         "event engine processed every strategy x policy row");
+
+    const std::string json_path = args.get_string("json");
+    if (!json_path.empty()) {
+      const std::string document = merge_rows_block(
+          read_file(json_path), "dynamic",
+          "event-engine rows, merged across --dynamic runs; keyed "
+          "strategy|policy|topology",
+          row_texts, dynamic_row_key);
+      std::ofstream json(json_path);
+      if (!json) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+      }
+      json << document;
+      std::cout << "[json] wrote " << json_path << "\n";
+    }
+    return 0;
   }
 
   std::cout << "== micro_throughput ==\n"
@@ -355,47 +579,13 @@ int main(int argc, char** argv) {
       // Merge this sweep's rows into large_topology.rows, replacing rows
       // with the same identity and keeping everything else — including the
       // whole `results` block and its metadata — byte-for-byte.
-      std::vector<std::string> merged;
-      std::vector<std::string> merged_keys;
-      const std::string old_block =
-          jsonslice::extract_top_level(existing, "large_topology");
-      for (const std::string& old_row : jsonslice::split_top_level_array(
-               jsonslice::extract_top_level(old_block, "rows"))) {
-        merged.push_back(old_row);
-        merged_keys.push_back(row_key(old_row));
-      }
-      for (const ThroughputRow& row : rows) {
-        const std::string text = row_json(row);
-        const std::string key = row_key(text);
-        bool replaced = false;
-        for (std::size_t i = 0; i < merged.size(); ++i) {
-          if (merged_keys[i] == key) {
-            merged[i] = text;
-            replaced = true;
-            break;
-          }
-        }
-        if (!replaced) {
-          merged.push_back(text);
-          merged_keys.push_back(key);
-        }
-      }
-      std::ostringstream block;
-      block << "{\n"
-            << "    \"note\": \"large-topology rows, merged across "
-               "--large-topology runs; kept out of 'results' so the "
-               "regression keys stay unique\",\n"
-            << "    \"rows\": [\n";
-      for (std::size_t i = 0; i < merged.size(); ++i) {
-        block << "      " << merged[i]
-              << (i + 1 < merged.size() ? "," : "") << "\n";
-      }
-      block << "    ]\n  }";
-      const std::string skeleton =
-          existing.empty() ? "{\n  \"bench\": \"micro_throughput\"\n}\n"
-                           : existing;
-      document =
-          jsonslice::replace_top_level(skeleton, "large_topology", block.str());
+      std::vector<std::string> row_texts;
+      for (const ThroughputRow& row : rows) row_texts.push_back(row_json(row));
+      document = merge_rows_block(
+          existing, "large_topology",
+          "large-topology rows, merged across --large-topology runs; kept "
+          "out of 'results' so the regression keys stay unique",
+          row_texts, row_key);
     } else {
       std::ostringstream os;
       os << "{\n"
@@ -423,12 +613,13 @@ int main(int argc, char** argv) {
       os << "  ]\n}\n";
       document = os.str();
       // A rerun of the default sweep must not clobber the separately
-      // produced large_topology block.
-      const std::string preserved =
-          jsonslice::extract_top_level(existing, "large_topology");
-      if (!preserved.empty()) {
-        document =
-            jsonslice::replace_top_level(document, "large_topology", preserved);
+      // produced merge-mode blocks.
+      for (const char* block : {"large_topology", "dynamic"}) {
+        const std::string preserved =
+            jsonslice::extract_top_level(existing, block);
+        if (!preserved.empty()) {
+          document = jsonslice::replace_top_level(document, block, preserved);
+        }
       }
     }
     std::ofstream json(json_path);

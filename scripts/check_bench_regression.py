@@ -19,7 +19,14 @@ the commit_mode field count as "serial":
     speculation path is designed around: small uniform candidate sets, so a
     collapsed hit rate means the engine's snapshot schedule broke, not the
     workload). Every speculative row must additionally show the speculation
-    machinery engaging at all (hits + conflicts + decided + bypassed > 0).
+    machinery engaging at all (hits + conflicts + decided + bypassed > 0);
+  * when BOTH files carry a `dynamic` block (event-engine rows produced by
+    micro_throughput --dynamic), its rows are matched on
+    (strategy, policy, topology): every baseline dynamic row must still
+    exist, and no matched row's events_per_sec may drop by more than
+    --tolerance. A file without the block — e.g. a baseline predating the
+    event engine, or a fresh run that skipped --dynamic — skips the check
+    with a notice rather than failing (the block is optional by design).
 
 Absolute req/s figures move with the host, so CI should pin runner types or
 widen --tolerance rather than chase machine noise. Only the Python standard
@@ -82,6 +89,72 @@ def row_rps(row: dict, key: Key, path: str) -> float:
                  f"requests_per_sec {value!r}")
 
 
+DynKey = tuple[str, str, str]
+
+
+def dynamic_key_label(key: DynKey) -> str:
+    strategy, policy, topology = key
+    return f"dynamic {strategy} policy={policy} on {topology}"
+
+
+def load_dynamic_rows(doc: dict, path: str) -> dict[DynKey, dict] | None:
+    """The `dynamic` block's rows keyed (strategy, policy, topology), or
+    None when the document has no such block — an optional block, absent in
+    files predating the event engine or runs that skipped --dynamic."""
+    block = doc.get("dynamic")
+    if block is None:
+        return None
+    rows: dict[DynKey, dict] = {}
+    for index, row in enumerate(block.get("rows", [])):
+        key = (str(row.get("strategy")), str(row.get("policy")),
+               str(row.get("topology")))
+        if None in (row.get("strategy"), row.get("policy"),
+                    row.get("topology")):
+            sys.exit(f"error: dynamic row {index} in {path!r} lacks a "
+                     f"strategy/policy/topology key")
+        if key in rows:
+            sys.exit(f"error: duplicate dynamic row {key} in {path!r}")
+        rows[key] = row
+    return rows
+
+
+def check_dynamic(baseline_doc: dict, fresh_doc: dict, baseline_path: str,
+                  fresh_path: str, tolerance: float,
+                  failures: list[str]) -> None:
+    baseline = load_dynamic_rows(baseline_doc, baseline_path)
+    fresh = load_dynamic_rows(fresh_doc, fresh_path)
+    if baseline is None:
+        print("[skip] dynamic: baseline has no 'dynamic' block")
+        return
+    if fresh is None:
+        print("[skip] dynamic: fresh file has no 'dynamic' block")
+        return
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            failures.append(f"fresh file has no ({dynamic_key_label(key)}) "
+                            f"row, present in the baseline")
+            continue
+        try:
+            base_eps = float(base_row.get("events_per_sec", 0.0))
+            fresh_eps = float(fresh_row.get("events_per_sec", 0.0))
+        except (TypeError, ValueError):
+            sys.exit(f"error: row {dynamic_key_label(key)} has a non-numeric "
+                     f"events_per_sec")
+        if base_eps <= 0:
+            print(f"[skip] {dynamic_key_label(key)}: baseline recorded "
+                  f"{base_eps:,.0f} events/s, no drop ratio to check")
+            continue
+        drop = 1.0 - fresh_eps / base_eps
+        marker = "FAIL" if drop > tolerance else "ok"
+        print(f"[{marker}] {dynamic_key_label(key)}: "
+              f"{base_eps:,.0f} -> {fresh_eps:,.0f} events/s "
+              f"({-drop:+.1%} vs baseline, tolerance -{tolerance:.0%})")
+        if drop > tolerance:
+            failures.append(f"{dynamic_key_label(key)}: events/s dropped "
+                            f"{drop:.1%} (> {tolerance:.0%})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="fail when micro_throughput regressed vs the committed baseline"
@@ -109,7 +182,7 @@ def main() -> int:
     if args.min_spec_hit is not None and not 0.0 <= args.min_spec_hit <= 1.0:
         parser.error("--min-spec-hit must be in [0, 1]")
 
-    _, baseline = load_rows(args.baseline)
+    baseline_doc, baseline = load_rows(args.baseline)
     fresh_doc, fresh = load_rows(args.fresh)
     failures = []
 
@@ -187,6 +260,9 @@ def main() -> int:
                                 f"{args.min_spec_hit:.0%}")
         if not checked:
             print("[skip] --min-spec-hit: fresh file has no speculative rows")
+
+    check_dynamic(baseline_doc, fresh_doc, args.baseline, args.fresh,
+                  args.tolerance, failures)
 
     if failures:
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)

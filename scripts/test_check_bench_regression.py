@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Script-level lock for check_bench_regression.py.
+
+Runs the gate as a subprocess over synthetic bench files and asserts on
+exit status and the printed notices — exactly what CI observes. The cases
+that matter most are the `dynamic` block's tolerate-absent contract
+(skip-with-notice when either file lacks the block, never a KeyError) and
+the per-row failures when both files do carry it. Only the Python standard
+library is used.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def result_row(strategy: str, rps: float) -> dict:
+    return {"strategy": strategy, "threads": 1, "commit_mode": "serial",
+            "requests_per_sec": rps}
+
+
+def dynamic_row(strategy: str, policy: str, topology: str,
+                eps: float) -> dict:
+    return {"strategy": strategy, "policy": policy, "topology": topology,
+            "events_per_sec": eps}
+
+
+def bench_doc(results: list[dict], dynamic: list[dict] | None = None) -> dict:
+    doc = {"bench": "micro_throughput", "threads": 1, "results": results}
+    if dynamic is not None:
+        doc["dynamic"] = {"note": "test", "rows": dynamic}
+    return doc
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name: str, doc: dict) -> str:
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        return path
+
+    def run_gate(self, baseline: dict, fresh: dict,
+                 *extra_args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, SCRIPT,
+             "--baseline", self.write("baseline.json", baseline),
+             "--fresh", self.write("fresh.json", fresh), *extra_args],
+            capture_output=True, text=True, check=False)
+
+    def test_clean_pass_without_dynamic_blocks(self) -> None:
+        doc = bench_doc([result_row("nearest", 1000.0)])
+        proc = self.run_gate(doc, doc)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("[skip] dynamic: baseline has no 'dynamic' block",
+                      proc.stdout)
+        self.assertIn("bench check clean", proc.stdout)
+
+    def test_result_row_drop_fails(self) -> None:
+        baseline = bench_doc([result_row("nearest", 1000.0)])
+        fresh = bench_doc([result_row("nearest", 500.0)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("req/s dropped", proc.stderr)
+
+    def test_baseline_without_dynamic_block_skips_with_notice(self) -> None:
+        # The tolerate-absent contract: a baseline predating the event
+        # engine must not fail (or KeyError) against a fresh file that
+        # carries the block.
+        baseline = bench_doc([result_row("nearest", 1000.0)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("[skip] dynamic: baseline has no 'dynamic' block",
+                      proc.stdout)
+
+    def test_fresh_without_dynamic_block_skips_with_notice(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        fresh = bench_doc([result_row("nearest", 1000.0)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("[skip] dynamic: fresh file has no 'dynamic' block",
+                      proc.stdout)
+
+    def test_dynamic_row_drop_fails(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         1.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("events/s dropped", proc.stderr)
+
+    def test_dynamic_row_within_tolerance_passes(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         4.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("bench check clean", proc.stdout)
+
+    def test_missing_dynamic_row_fails(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6),
+             dynamic_row("two-choice", "static", "torus(side=20)", 6.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("two-choice", proc.stderr)
+
+    def test_same_strategy_different_policy_tracks_separately(self) -> None:
+        # Policy is part of the row identity: a drop under lru must be
+        # reported against the lru row even when the static row improved.
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "static", "torus(side=20)", 5.0e6),
+             dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         5.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            [dynamic_row("nearest", "static", "torus(side=20)", 9.0e6),
+             dynamic_row("nearest", "lru(capacity=4)", "torus(side=20)",
+                         1.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("policy=lru(capacity=4)", proc.stderr)
+        self.assertNotIn("policy=static", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,45 @@
+#include "catalog/cache_state.hpp"
+
+#include <algorithm>
+
+namespace proxcache {
+
+CacheState::CacheState(const Placement& placement)
+    : node_files_(placement.num_nodes()), replicas_(placement.num_files()) {
+  for (NodeId u = 0; u < placement.num_nodes(); ++u) {
+    const auto files = placement.files_of(u);
+    auto& mine = node_files_[u];
+    mine.assign(files.begin(), files.end());
+    // files_of spans are sorted with possible duplicates (multi-copy
+    // placements); contents are distinct files.
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    for (const FileId j : mine) replicas_[j].push_back(u);
+  }
+  // Nodes were visited in ascending id order, so replica lists are sorted.
+}
+
+bool CacheState::caches(NodeId u, FileId j) const {
+  const auto& mine = node_files_[u];
+  return std::binary_search(mine.begin(), mine.end(), j);
+}
+
+void CacheState::insert(NodeId u, FileId j) {
+  auto& mine = node_files_[u];
+  const auto it = std::lower_bound(mine.begin(), mine.end(), j);
+  if (it != mine.end() && *it == j) return;
+  mine.insert(it, j);
+  auto& holders = replicas_[j];
+  holders.insert(std::lower_bound(holders.begin(), holders.end(), u), u);
+}
+
+void CacheState::erase(NodeId u, FileId j) {
+  auto& mine = node_files_[u];
+  const auto it = std::lower_bound(mine.begin(), mine.end(), j);
+  if (it == mine.end() || *it != j) return;
+  mine.erase(it);
+  auto& holders = replicas_[j];
+  const auto hit = std::lower_bound(holders.begin(), holders.end(), u);
+  if (hit != holders.end() && *hit == u) holders.erase(hit);
+}
+
+}  // namespace proxcache

@@ -1,0 +1,62 @@
+#pragma once
+/// \file cache_state.hpp
+/// Mutable cache contents for the event-driven dynamic mode. `Placement`
+/// (placement.hpp) is deliberately immutable — the batch simulator's seed
+/// contract depends on it — so evolving runs copy it into a `CacheState`:
+/// per-node sorted content lists plus the inverted per-file replica lists,
+/// both kept consistent under `insert`/`erase`. Which file to evict is the
+/// `CachePolicy`'s call (event/cache_policy.hpp); this class only tracks
+/// *where files are now*, serving the engine's hit tests and the
+/// nearest-current-replica fetch on a miss.
+///
+/// Per-node lists stay small (~capacity M), so membership is a binary
+/// search and mutation is an O(M) vector splice; per-file replica lists
+/// are sorted by node id for deterministic fetch scans.
+
+#include <span>
+#include <vector>
+
+#include "catalog/placement.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+class CacheState {
+ public:
+  /// Copy `placement`'s contents as the initial state.
+  explicit CacheState(const Placement& placement);
+
+  [[nodiscard]] std::size_t num_nodes() const { return node_files_.size(); }
+  [[nodiscard]] std::size_t num_files() const { return replicas_.size(); }
+
+  /// True when node `u` currently holds file `j`.
+  [[nodiscard]] bool caches(NodeId u, FileId j) const;
+
+  /// Files currently at node `u`, ascending.
+  [[nodiscard]] std::span<const FileId> files_of(NodeId u) const {
+    return node_files_[u];
+  }
+  [[nodiscard]] std::size_t size(NodeId u) const {
+    return node_files_[u].size();
+  }
+
+  /// Nodes currently holding file `j`, ascending.
+  [[nodiscard]] std::span<const NodeId> replicas(FileId j) const {
+    return replicas_[j];
+  }
+  [[nodiscard]] std::size_t replica_count(FileId j) const {
+    return replicas_[j].size();
+  }
+
+  /// Add file `j` at node `u`; no-op when already present.
+  void insert(NodeId u, FileId j);
+
+  /// Remove file `j` from node `u`; no-op when absent.
+  void erase(NodeId u, FileId j);
+
+ private:
+  std::vector<std::vector<FileId>> node_files_;
+  std::vector<std::vector<NodeId>> replicas_;
+};
+
+}  // namespace proxcache

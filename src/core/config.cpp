@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "strategy/registry.hpp"
@@ -80,6 +81,12 @@ void ExperimentConfig::validate() const {
           "hotspot_radius must be smaller than the lattice side");
     }
   }
+
+  // The batch simulator never reads the arrival rate, but it is validated
+  // here with the other trace knobs so a bad dynamic-mode config fails at
+  // the same place every other bad config does.
+  PROXCACHE_REQUIRE(std::isfinite(trace.arrival_rate) && trace.arrival_rate > 0.0,
+                    "arrival rate must be > 0");
 
   switch (trace.kind) {
     case TraceKind::Static:

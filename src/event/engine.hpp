@@ -1,0 +1,79 @@
+#pragma once
+/// \file engine.hpp
+/// The discrete-event dynamic engine: requests arrive over continuous time
+/// (Poisson with per-node rate `trace.arrival_rate`), are routed by the
+/// same `StrategyRegistry` policies as the batch simulator — comparing
+/// *live queue lengths* through `QueueLoadView` — queue FIFO at the chosen
+/// server (exponential service), and propagate their response back over
+/// the topology at `hop_latency` time units per hop. Cache contents are
+/// mutable state (`CacheState` + per-node `CachePolicy`): a completion
+/// consults the server's *current* cache, and a miss fetches from the
+/// nearest current replica (round trip added to the response latency) and
+/// inserts under the replacement policy, optionally caching along the
+/// return path at the request's origin.
+///
+/// Determinism contract: one RNG stream seeded `derive_seed(seed,
+/// {0, kQueueing})` drives the whole event loop (placement comes from
+/// `{0, kPlacement}`, exactly like `run_supermarket` always did); the
+/// event queue is a binary heap ordered by (time, insertion sequence), so
+/// equal-time events resolve by insertion order, never by heap internals.
+/// With the `static` policy, zero hop latency, uniform origins and a
+/// static trace, the engine replays the historical supermarket loop's draw
+/// sequence bit-for-bit — `run_supermarket` is now a shim over this
+/// engine, locked by a differential suite against the frozen reference
+/// loop (test_event_supermarket).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "event/cache_policy.hpp"
+#include "queueing/supermarket.hpp"
+#include "stats/windowed.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Dynamic experiment description. The network model (topology, library,
+/// placement, strategy, origins, trace process) comes from
+/// `ExperimentConfig`; arrivals are timed by `network.trace.arrival_rate`.
+struct DynamicConfig {
+  ExperimentConfig network;
+  double service_rate = 1.0;      ///< μ, per server
+  double horizon = 200.0;         ///< simulated time units
+  double warmup_fraction = 0.25;  ///< horizon fraction excluded from aggregates
+  /// Response propagation cost: time units per topology hop. 0 (the
+  /// default) makes responses instantaneous — the supermarket model.
+  double hop_latency = 0.0;
+  /// Replacement policy; empty = `static` (frozen placement).
+  CachePolicySpec cache_policy;
+  /// Also insert a missed file at the request's origin when the response
+  /// arrives there (no-op under `static`, or when origin == server).
+  bool cache_on_path = false;
+  /// Time windows for the windowed metric series (>= 1).
+  std::uint32_t metric_windows = 8;
+};
+
+/// One dynamic run's output: the aggregate queueing estimates (shared
+/// shape with the supermarket shim) plus cache-dynamics counters and the
+/// time-windowed series.
+struct DynamicResult {
+  QueueingResult queueing;
+
+  std::uint64_t events = 0;     ///< events processed (the engine's work unit)
+  std::uint64_t admitted = 0;   ///< requests that entered a service queue
+  std::uint64_t lost = 0;       ///< files with no placement replica (unroutable)
+  std::uint64_t dropped = 0;    ///< strategy declined (fallback=drop)
+  std::uint64_t hits = 0;       ///< completions served from the live cache
+  std::uint64_t misses = 0;     ///< completions that fetched from a replica
+  std::uint64_t inserts = 0;    ///< policy insertions (miss fills + on-path)
+  std::uint64_t evictions = 0;  ///< policy evictions (incl. startup trims)
+  double hit_rate = 0.0;        ///< hits / (hits + misses); 1 under `static`
+  double p99_sojourn = 0.0;     ///< p99 sojourn of post-warmup completions
+  std::vector<WindowMetrics> windows;  ///< per-window series over the horizon
+};
+
+/// Run the event-driven simulation. Deterministic in (config, seed).
+DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed);
+
+}  // namespace proxcache

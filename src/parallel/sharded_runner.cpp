@@ -74,7 +74,10 @@ struct BatchBuffer {
   /// maximum window count, reset per batch before the chase is dispatched.
   std::unique_ptr<std::atomic<std::uint32_t>[]> win_state;
   std::size_t win_count = 0;  ///< windows in the current batch
-  double chase_seconds = 0.0;  ///< chase-side speculate wall time
+  /// Chase-side speculate wall time, one slot per chase task (the window
+  /// state machine admits any number of claimants; two are submitted when
+  /// the pool has the workers to run them concurrently).
+  double chase_seconds[2] = {0.0, 0.0};
 };
 
 /// LoadView over one request's candidate window mapped to its snapshot
@@ -340,14 +343,17 @@ RunResult ShardedRunner::run(std::uint64_t run_index,
     seconds += timer.seconds();
   };
 
-  // The chase task: one long-lived pool task per batch that claims windows
-  // in schedule order as their snapshots appear. Claiming is a CAS, so the
-  // committer can help-steal windows (and at threads = 1 runs the whole
-  // schedule inline) without double execution.
-  auto chase_batch = [&](BatchBuffer& buffer) {
+  // The chase tasks: long-lived pool tasks per batch that claim windows
+  // in schedule order as their snapshots appear. Claiming is a CAS, so
+  // chase tasks and the help-stealing committer (which at threads = 1 runs
+  // the whole schedule inline) compete freely without double execution —
+  // a loser simply moves to the next window. `task` selects the private
+  // wall-time slot; determinism is unaffected by who wins a claim because
+  // every claimant computes the same value-validated speculation.
+  auto chase_batch = [&](BatchBuffer& buffer, std::size_t task) {
     CandidateArena scratch;
     WindowSnapshotView view;
-    buffer.chase_seconds = 0.0;
+    buffer.chase_seconds[task] = 0.0;
     for (std::size_t w = 0; w < buffer.win_count; ++w) {
       std::atomic<std::uint32_t>& state = buffer.win_state[w];
       std::uint32_t seen = state.load(std::memory_order_acquire);
@@ -363,7 +369,7 @@ RunResult ShardedRunner::run(std::uint64_t run_index,
         continue;  // the committer already claimed or finished it
       }
       try {
-        run_window(buffer, w, scratch, view, buffer.chase_seconds);
+        run_window(buffer, w, scratch, view, buffer.chase_seconds[task]);
       } catch (...) {
         // Unblock the committer (slots not reached keep spec_ok = false
         // and are re-chosen serially), then let the future carry the error.
@@ -397,9 +403,17 @@ RunResult ShardedRunner::run(std::uint64_t run_index,
       }
       publish_snapshot(buffer, 0);
       publish_snapshot(buffer, 1);
-      std::future<void> chase;
+      std::array<std::future<void>, 2> chases;
       if (pool_) {
-        chase = pool_->submit([&buffer, &chase_batch] { chase_batch(buffer); });
+        chases[0] =
+            pool_->submit([&buffer, &chase_batch] { chase_batch(buffer, 0); });
+        // A second chaser pays off only when the pool has a worker for it
+        // beyond the first (threads - 1 pool workers); otherwise it would
+        // just queue behind the first and find every window claimed.
+        if (options_.threads >= 3) {
+          chases[1] = pool_->submit(
+              [&buffer, &chase_batch] { chase_batch(buffer, 1); });
+        }
       }
       try {
         CandidateArena helper_scratch;
@@ -491,10 +505,13 @@ RunResult ShardedRunner::run(std::uint64_t run_index,
           harness.tracker.apply_window(delta);
           publish_snapshot(buffer, w + 2);
         }
-        if (chase.valid()) chase.get();
+        for (std::future<void>& chase : chases) {
+          if (chase.valid()) chase.get();
+        }
       } catch (...) {
         abort.store(true, std::memory_order_release);
-        if (chase.valid()) {
+        for (std::future<void>& chase : chases) {
+          if (!chase.valid()) continue;
           try {
             chase.get();
           } catch (...) {  // NOLINT(bugprone-empty-catch) first error wins
@@ -531,7 +548,8 @@ RunResult ShardedRunner::run(std::uint64_t run_index,
         stats->spec_conflicts += conflicts;
         stats->spec_decided += decided;
         stats->spec_bypassed += bypassed;
-        stats->speculate_seconds += helper_seconds + buffer.chase_seconds;
+        stats->speculate_seconds += helper_seconds + buffer.chase_seconds[0] +
+                                    buffer.chase_seconds[1];
       }
       if (split) {
         if (pool_) stats->proposed_off_thread += buffer.count;

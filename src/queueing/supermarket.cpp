@@ -7,9 +7,11 @@
 
 #include "core/metrics.hpp"
 #include "core/request.hpp"
+#include "event/engine.hpp"
 #include "random/alias_sampler.hpp"
 #include "random/seeding.hpp"
 #include "spatial/replica_index.hpp"
+#include "strategy/queue_view.hpp"
 #include "strategy/registry.hpp"
 #include "topology/registry.hpp"
 #include "util/contracts.hpp"
@@ -17,26 +19,6 @@
 namespace proxcache {
 
 namespace {
-
-/// Instantaneous queue lengths, exposed to the strategies through the
-/// LoadView interface so join-the-shorter-queue reuses the exact same
-/// candidate-sampling code as the batch simulator.
-class QueueState final : public LoadView {
- public:
-  explicit QueueState(std::size_t n) : lengths_(n, 0) {}
-
-  [[nodiscard]] Load load(NodeId u) const override { return lengths_[u]; }
-  [[nodiscard]] Load length(NodeId u) const { return lengths_[u]; }
-
-  void push(NodeId u) { ++lengths_[u]; }
-  void pop(NodeId u) {
-    PROXCACHE_CHECK(lengths_[u] > 0, "pop from empty queue");
-    --lengths_[u];
-  }
-
- private:
-  std::vector<Load> lengths_;
-};
 
 struct Event {
   double time;
@@ -55,6 +37,29 @@ double exponential(Rng& rng, double rate) {
 
 QueueingResult run_supermarket(const QueueingConfig& config,
                                std::uint64_t seed) {
+  // Thin shim over the event engine (event/engine.hpp): the supermarket
+  // model is the zero-hop-latency / static-placement / uniform-origin
+  // special case, and the engine replays this module's historical draw
+  // sequence bit-for-bit there (locked by test_event_supermarket against
+  // `run_supermarket_reference` below).
+  DynamicConfig dynamic;
+  dynamic.network = config.network;
+  // The supermarket model always drew uniform origins and a static
+  // catalog, whatever the network config carried — preserve that.
+  dynamic.network.origins = OriginSpec{};
+  dynamic.network.trace = TraceSpec{};
+  dynamic.network.trace.arrival_rate = config.arrival_rate;
+  dynamic.service_rate = config.service_rate;
+  dynamic.horizon = config.horizon;
+  dynamic.warmup_fraction = config.warmup_fraction;
+  dynamic.hop_latency = 0.0;
+  dynamic.cache_policy.name = "static";
+  dynamic.metric_windows = 1;
+  return run_dynamic(dynamic, seed).queueing;
+}
+
+QueueingResult run_supermarket_reference(const QueueingConfig& config,
+                                         std::uint64_t seed) {
   config.network.validate();
   PROXCACHE_REQUIRE(config.arrival_rate > 0.0, "arrival rate must be > 0");
   PROXCACHE_REQUIRE(config.service_rate > 0.0, "service rate must be > 0");
@@ -74,11 +79,6 @@ QueueingResult run_supermarket(const QueueingConfig& config,
       placement_rng);
   const ReplicaIndex index(*topology, placement);
 
-  // Queueing accepts the exact same spec strings as the batch simulator:
-  // join-the-shorter-queue is just the strategy comparing queue lengths
-  // through the LoadView. Queue lengths are live by construction, so a
-  // stale-information request cannot be honored — reject it loudly rather
-  // than silently simulating a different model than the spec claims.
   const StrategyRegistry& registry = StrategyRegistry::global();
   const StrategySpec spec = registry.with_defaults(net.resolved_strategy());
   PROXCACHE_REQUIRE(spec.get_or("stale", 1.0) == 1.0,
@@ -95,7 +95,7 @@ QueueingResult run_supermarket(const QueueingConfig& config,
   const double aggregate_rate = config.arrival_rate * static_cast<double>(n);
   const double warmup = config.horizon * config.warmup_fraction;
 
-  QueueState queues(n);
+  QueueLoadView queues(n);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   events.push({exponential(rng, aggregate_rate), Event::Kind::Arrival, 0});
 

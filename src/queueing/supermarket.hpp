@@ -43,8 +43,17 @@ struct QueueingResult {
   double utilization = 0.0;     ///< busy-time fraction per server
 };
 
-/// Run the event-driven simulation. Deterministic in (config, seed).
+/// Run the supermarket simulation. Deterministic in (config, seed). Since
+/// the event engine landed (event/engine.hpp) this is a thin shim over
+/// `run_dynamic` — the zero-hop-latency / static-placement special case —
+/// and reproduces the historical loop bit-for-bit.
 QueueingResult run_supermarket(const QueueingConfig& config,
                                std::uint64_t seed);
+
+/// The frozen pre-engine supermarket loop, kept verbatim as the oracle of
+/// the differential regression suite (test_event_supermarket) that locks
+/// the shim's bit-compatibility. Not for new callers.
+QueueingResult run_supermarket_reference(const QueueingConfig& config,
+                                         std::uint64_t seed);
 
 }  // namespace proxcache

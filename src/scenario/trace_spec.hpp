@@ -57,6 +57,12 @@ inline TraceKind trace_kind_from_string(const std::string& name) {
 struct TraceSpec {
   TraceKind kind = TraceKind::Static;
 
+  // --- Timed arrivals (event-driven dynamic mode, event/engine.hpp). ---
+  /// Per-node Poisson arrival rate λ: requests arrive network-wide at
+  /// aggregate rate n·λ. Read only by the event engine — the batch
+  /// simulator is untimed and ignores it. Must be > 0.
+  double arrival_rate = 0.7;
+
   // --- FlashCrowd: hotspot demand ramps 0 → peak → 0 over a window. ---
   /// Fraction of requests born in the crowd disc at the pulse peak.
   double flash_peak = 0.9;

@@ -1,0 +1,65 @@
+#include "stats/windowed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+WindowedCollector::WindowedCollector(double horizon, std::uint32_t windows) {
+  PROXCACHE_REQUIRE(horizon > 0.0, "windowed collector needs horizon > 0");
+  PROXCACHE_REQUIRE(windows >= 1, "windowed collector needs >= 1 window");
+  width_ = horizon / windows;
+  series_.resize(windows);
+  sojourns_.resize(windows);
+  for (std::uint32_t i = 0; i < windows; ++i) {
+    series_[i].t_begin = i * width_;
+    series_[i].t_end = (i + 1) * width_;
+  }
+  series_.back().t_end = horizon;
+}
+
+std::size_t WindowedCollector::index_of(double t) const {
+  if (t <= 0.0) return 0;
+  const auto i = static_cast<std::size_t>(t / width_);
+  return std::min(i, series_.size() - 1);
+}
+
+void WindowedCollector::record_completion(double t, double sojourn) {
+  const std::size_t i = index_of(t);
+  ++series_[i].completed;
+  sojourns_[i].push_back(sojourn);
+}
+
+double sample_quantile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const auto n = values.size();
+  // Nearest-rank: the ceil(q*n)-th order statistic (1-based).
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n) - 1;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+std::vector<WindowMetrics> WindowedCollector::finalize() const {
+  std::vector<WindowMetrics> out = series_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    WindowMetrics& w = out[i];
+    const std::uint64_t lookups = w.hits + w.misses;
+    w.hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(w.hits) / static_cast<double>(lookups);
+    std::vector<double> samples = sojourns_[i];
+    if (!samples.empty()) {
+      double total = 0.0;
+      for (const double s : samples) total += s;
+      w.mean_sojourn = total / static_cast<double>(samples.size());
+      w.p99_sojourn = sample_quantile(samples, 0.99);
+    }
+  }
+  return out;
+}
+
+}  // namespace proxcache

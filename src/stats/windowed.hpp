@@ -1,0 +1,75 @@
+#pragma once
+/// \file windowed.hpp
+/// Time-windowed metric collection for the event-driven dynamic mode: the
+/// horizon is cut into `windows` equal slices and every observation is
+/// binned by its event time, so a flash-crowd pulse shows up as a hit-rate
+/// dip / sojourn spike *in the windows it covers* instead of being averaged
+/// away. Aggregates (overall p99, hit rate) are computed over the same
+/// stream by the engine; this collector owns only the per-window series.
+///
+/// Sojourn quantiles keep the raw per-window samples until `finalize` —
+/// dynamic runs are horizon-bounded, so the memory is proportional to the
+/// completions of one run, not a streaming histogram's resolution trade.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// One time slice of a dynamic run.
+struct WindowMetrics {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::uint64_t arrivals = 0;   ///< requests admitted in the window
+  std::uint64_t completed = 0;  ///< service completions in the window
+  std::uint64_t hits = 0;       ///< cache lookups served locally
+  std::uint64_t misses = 0;     ///< lookups that fetched from a replica
+  Load max_queue = 0;           ///< largest queue length observed on a push
+  double hit_rate = 0.0;        ///< hits / (hits + misses); 0 when idle
+  double mean_sojourn = 0.0;    ///< mean completion sojourn; 0 when idle
+  double p99_sojourn = 0.0;     ///< p99 completion sojourn; 0 when idle
+};
+
+/// Bins observations into equal time windows over `[0, horizon]`.
+class WindowedCollector {
+ public:
+  /// `horizon > 0`, `windows >= 1`. Times at or past the horizon clamp
+  /// into the last window.
+  WindowedCollector(double horizon, std::uint32_t windows);
+
+  void record_arrival(double t) { ++slot(t).arrivals; }
+  void record_lookup(double t, bool hit) {
+    WindowMetrics& w = slot(t);
+    ++(hit ? w.hits : w.misses);
+  }
+  void record_completion(double t, double sojourn);
+  /// Observe a post-push queue length (per-window max load).
+  void record_queue_peak(double t, Load length) {
+    WindowMetrics& w = slot(t);
+    if (length > w.max_queue) w.max_queue = length;
+  }
+
+  [[nodiscard]] std::uint32_t windows() const {
+    return static_cast<std::uint32_t>(series_.size());
+  }
+  [[nodiscard]] double width() const { return width_; }
+
+  /// Derive hit_rate / mean / p99 per window and return the series.
+  [[nodiscard]] std::vector<WindowMetrics> finalize() const;
+
+ private:
+  WindowMetrics& slot(double t) { return series_[index_of(t)]; }
+  [[nodiscard]] std::size_t index_of(double t) const;
+
+  double width_;
+  std::vector<WindowMetrics> series_;
+  std::vector<std::vector<double>> sojourns_;  // per-window samples
+};
+
+/// Smallest sample at or above the q-quantile of `values` (nearest-rank);
+/// 0 when empty. `values` is consumed (partially sorted in place).
+[[nodiscard]] double sample_quantile(std::vector<double>& values, double q);
+
+}  // namespace proxcache

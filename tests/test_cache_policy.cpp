@@ -1,0 +1,164 @@
+// Tests for the cache-policy layer: spec grammar round-trips, registry
+// validation (mirroring the strategy/topology registries), and the
+// eviction semantics of the built-in policies (LRU / LFU / EWMA) driven
+// directly through the CachePolicy interface.
+#include "event/cache_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "catalog/cache_state.hpp"
+#include "catalog/placement.hpp"
+#include "catalog/popularity.hpp"
+#include "random/rng.hpp"
+
+namespace proxcache {
+namespace {
+
+TEST(CachePolicySpec, ParsesAndCanonicalizes) {
+  const CachePolicySpec spec = parse_cache_policy_spec("LRU( Capacity = 8 )");
+  EXPECT_EQ(spec.name, "lru");
+  EXPECT_EQ(spec.get_or("capacity", 0.0), 8.0);
+  EXPECT_EQ(spec.to_string(), "lru(capacity=8)");
+  EXPECT_EQ(parse_cache_policy_spec(spec.to_string()), spec);
+}
+
+TEST(CachePolicySpec, BareNameHasNoParams) {
+  const CachePolicySpec spec = parse_cache_policy_spec("static");
+  EXPECT_EQ(spec.name, "static");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "static");
+}
+
+TEST(CachePolicyRegistry, BuiltInsAreRegistered) {
+  const CachePolicyRegistry& registry = CachePolicyRegistry::built_ins();
+  EXPECT_EQ(registry.names(), "static, lru, lfu, ewma");
+  EXPECT_FALSE(registry.at("static").mutable_contents);
+  EXPECT_TRUE(registry.at("lru").mutable_contents);
+  EXPECT_EQ(registry.find("fifo"), nullptr);
+}
+
+TEST(CachePolicyRegistry, ValidateRejectsBadSpecs) {
+  const CachePolicyRegistry& registry = CachePolicyRegistry::built_ins();
+  EXPECT_THROW(registry.validate(parse_cache_policy_spec("fifo")),
+               std::invalid_argument);
+  // static takes no parameters at all.
+  EXPECT_THROW(registry.validate(parse_cache_policy_spec("static(capacity=4)")),
+               std::invalid_argument);
+  // Unknown key, non-integral capacity, out-of-range decay.
+  EXPECT_THROW(registry.validate(parse_cache_policy_spec("lru(depth=3)")),
+               std::invalid_argument);
+  EXPECT_THROW(registry.validate(parse_cache_policy_spec("lru(capacity=2.5)")),
+               std::invalid_argument);
+  EXPECT_THROW(registry.validate(parse_cache_policy_spec("ewma(decay=-0.1)")),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      registry.validate(parse_cache_policy_spec("ewma(capacity=4, decay=0.5)")));
+}
+
+TEST(CachePolicyRegistry, WithDefaultsFillsDeclaredValues) {
+  const CachePolicyRegistry& registry = CachePolicyRegistry::built_ins();
+  const CachePolicySpec filled =
+      registry.with_defaults(parse_cache_policy_spec("ewma"));
+  EXPECT_EQ(filled.get_or("capacity", -1.0), 0.0);
+  EXPECT_EQ(filled.get_or("decay", -1.0), 0.1);
+}
+
+TEST(CachePolicyRegistry, MakeHonorsCapacityFallback) {
+  const CachePolicyRegistry& registry = CachePolicyRegistry::built_ins();
+  // static is immutable: no per-node policy object.
+  EXPECT_EQ(registry.make(parse_cache_policy_spec("static"), 5), nullptr);
+  // capacity=0 (default) inherits the fallback M; explicit capacity wins.
+  EXPECT_EQ(registry.make(parse_cache_policy_spec("lru"), 5)->capacity(), 5u);
+  EXPECT_EQ(
+      registry.make(parse_cache_policy_spec("lru(capacity=2)"), 5)->capacity(),
+      2u);
+}
+
+TEST(CachePolicyRegistry, ParseValidatedSpecsFailsFast) {
+  EXPECT_THROW(parse_validated_policy_specs({"lru", "bogus"}),
+               std::invalid_argument);
+  const auto specs = parse_validated_policy_specs({"lru", "ewma(decay=0.2)"});
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[1].name, "ewma");
+}
+
+std::unique_ptr<CachePolicy> make_policy(const char* spec,
+                                         std::size_t fallback) {
+  return CachePolicyRegistry::built_ins().make(parse_cache_policy_spec(spec),
+                                               fallback);
+}
+
+TEST(CachePolicy, LruEvictsLeastRecentlyUsed) {
+  const auto policy = make_policy("lru(capacity=4)", 0);
+  for (FileId f = 0; f < 4; ++f) policy->seed(f);
+  // Untouched seeds evict in seed order.
+  EXPECT_EQ(policy->victim(1.0), 0u);
+  policy->on_access(0, 1.0);
+  EXPECT_EQ(policy->victim(2.0), 1u);
+  policy->on_evict(1);
+  policy->on_insert(9, 3.0);
+  policy->on_access(2, 4.0);
+  policy->on_access(3, 5.0);
+  // 0 (accessed at t=1) is now the coldest entry.
+  EXPECT_EQ(policy->victim(6.0), 0u);
+}
+
+TEST(CachePolicy, LfuEvictsLeastFrequentlyUsedWithRecencyTies) {
+  const auto policy = make_policy("lfu(capacity=4)", 0);
+  for (FileId f = 0; f < 4; ++f) policy->seed(f);
+  policy->on_access(0, 1.0);
+  policy->on_access(2, 2.0);
+  policy->on_access(2, 3.0);
+  // Counts: 0 -> 2, 1 -> 1, 2 -> 3, 3 -> 1; the tie between 1 and 3 breaks
+  // toward the older entry (1 was seeded first).
+  EXPECT_EQ(policy->victim(4.0), 1u);
+  policy->on_access(1, 5.0);
+  EXPECT_EQ(policy->victim(6.0), 3u);
+}
+
+TEST(CachePolicy, EwmaDecaysColdEntries) {
+  const auto policy = make_policy("ewma(capacity=2, decay=1)", 0);
+  policy->on_insert(0, 0.0);
+  policy->on_insert(1, 0.0);
+  // Equal scores at t=0: the older insert (file 0) is the victim.
+  EXPECT_EQ(policy->victim(0.0), 0u);
+  policy->on_access(0, 0.5);
+  // 0's score jumped to e^{-0.5} + 1 while 1 keeps decaying from 1.
+  EXPECT_EQ(policy->victim(1.0), 1u);
+  // Long silence: both decay together, but 0's later boost still dominates.
+  EXPECT_EQ(policy->victim(50.0), 1u);
+}
+
+TEST(CacheState, MirrorsPlacementAndStaysConsistent) {
+  const Popularity popularity = Popularity::uniform(6);
+  Rng rng(99);
+  const Placement placement = Placement::generate(
+      9, popularity, 3, PlacementMode::ProportionalWithReplacement, rng);
+  CacheState cache(placement);
+  ASSERT_EQ(cache.num_nodes(), 9u);
+  ASSERT_EQ(cache.num_files(), 6u);
+  for (NodeId u = 0; u < 9; ++u) {
+    for (const FileId f : cache.files_of(u)) {
+      EXPECT_TRUE(placement.caches(u, f));
+      EXPECT_TRUE(cache.caches(u, f));
+    }
+  }
+  // Mutations keep contents and replica lists in lock-step.
+  const FileId file = cache.files_of(0).front();
+  const std::size_t holders = cache.replica_count(file);
+  cache.erase(0, file);
+  EXPECT_FALSE(cache.caches(0, file));
+  EXPECT_EQ(cache.replica_count(file), holders - 1);
+  cache.insert(0, file);
+  EXPECT_TRUE(cache.caches(0, file));
+  EXPECT_EQ(cache.replica_count(file), holders);
+  // Idempotent on duplicates.
+  cache.insert(0, file);
+  EXPECT_EQ(cache.replica_count(file), holders);
+}
+
+}  // namespace
+}  // namespace proxcache

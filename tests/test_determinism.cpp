@@ -6,7 +6,10 @@
 // the TraceSource refactor.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/experiment.hpp"
+#include "event/engine.hpp"
 #include "parallel/sharded_runner.hpp"
 #include "scenario/registry.hpp"
 
@@ -323,6 +326,74 @@ TEST(Determinism, HotspotSeedContractGoldenMaster) {
   EXPECT_EQ(result.resampled, 0u);
   EXPECT_EQ(result.dropped, 0u);
   EXPECT_DOUBLE_EQ(result.comm_cost, 3.9404296875);
+}
+
+// Golden master for the dynamic mode: a flash-crowd pulse over every
+// evolving policy × two strategies × two topologies must be bit-identical
+// across reruns — counters, aggregates, and the whole windowed series.
+// Event times flow through libm (log/exp), so unlike the integer-derived
+// goldens above the doubles are locked by rerun equality, not by pinned
+// cross-platform constants; the integer counters additionally get
+// structural sanity checks (the crowd must actually churn the caches).
+TEST(Determinism, DynamicFlashCrowdGoldenMaster) {
+  for (const char* topology : {"torus(side=20)", "ring(n=400)"}) {
+    for (const char* strategy : {"nearest", "two-choice(d=2, r=8)"}) {
+      for (const char* policy :
+           {"lru(capacity=4)", "lfu(capacity=4)",
+            "ewma(capacity=4, decay=0.3)"}) {
+        SCOPED_TRACE(std::string(topology) + " / " + strategy + " / " +
+                     policy);
+        DynamicConfig config;
+        config.network.topology_spec = parse_topology_spec(topology);
+        config.network.num_files = 60;
+        config.network.cache_size = 6;
+        config.network.trace.kind = TraceKind::FlashCrowd;
+        config.network.trace.arrival_rate = 0.6;
+        config.network.strategy_spec = parse_strategy_spec(strategy);
+        config.cache_policy = parse_cache_policy_spec(policy);
+        config.horizon = 60.0;
+        config.metric_windows = 6;
+        config.network.seed = 77;
+
+        const DynamicResult a = run_dynamic(config, 77);
+        const DynamicResult b = run_dynamic(config, 77);
+
+        // The pulse must exercise the dynamic machinery, not idle past it.
+        EXPECT_GT(a.admitted, 1000u);
+        EXPECT_GT(a.misses, 0u);
+        EXPECT_GT(a.evictions, 0u);
+        EXPECT_GT(a.hit_rate, 0.0);
+        EXPECT_LT(a.hit_rate, 1.0);
+
+        EXPECT_EQ(a.admitted, b.admitted);
+        EXPECT_EQ(a.lost, b.lost);
+        EXPECT_EQ(a.dropped, b.dropped);
+        EXPECT_EQ(a.hits, b.hits);
+        EXPECT_EQ(a.misses, b.misses);
+        EXPECT_EQ(a.inserts, b.inserts);
+        EXPECT_EQ(a.evictions, b.evictions);
+        EXPECT_EQ(a.queueing.completed, b.queueing.completed);
+        EXPECT_EQ(a.queueing.max_queue, b.queueing.max_queue);
+        EXPECT_EQ(a.queueing.mean_sojourn, b.queueing.mean_sojourn);
+        EXPECT_EQ(a.queueing.mean_queue, b.queueing.mean_queue);
+        EXPECT_EQ(a.queueing.mean_hops, b.queueing.mean_hops);
+        EXPECT_EQ(a.queueing.utilization, b.queueing.utilization);
+        EXPECT_EQ(a.hit_rate, b.hit_rate);
+        EXPECT_EQ(a.p99_sojourn, b.p99_sojourn);
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t i = 0; i < a.windows.size(); ++i) {
+          EXPECT_EQ(a.windows[i].arrivals, b.windows[i].arrivals);
+          EXPECT_EQ(a.windows[i].completed, b.windows[i].completed);
+          EXPECT_EQ(a.windows[i].hits, b.windows[i].hits);
+          EXPECT_EQ(a.windows[i].misses, b.windows[i].misses);
+          EXPECT_EQ(a.windows[i].max_queue, b.windows[i].max_queue);
+          EXPECT_EQ(a.windows[i].hit_rate, b.windows[i].hit_rate);
+          EXPECT_EQ(a.windows[i].mean_sojourn, b.windows[i].mean_sojourn);
+          EXPECT_EQ(a.windows[i].p99_sojourn, b.windows[i].p99_sojourn);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

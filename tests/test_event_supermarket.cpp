@@ -1,0 +1,104 @@
+// Differential regression suite for the supermarket shim: run_supermarket
+// is now a thin wrapper over the event engine (static policy, zero hop
+// latency, uniform origins); every field of its result must match the
+// frozen pre-engine loop (`run_supermarket_reference`) bit-for-bit across
+// strategies, topologies, popularity laws, and load levels. This is the
+// lock that lets the old loop stay deprecated instead of deleted.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "event/engine.hpp"
+#include "queueing/supermarket.hpp"
+
+namespace proxcache {
+namespace {
+
+QueueingConfig base_config() {
+  QueueingConfig config;
+  config.network.num_nodes = 100;
+  config.network.num_files = 20;
+  config.network.cache_size = 5;
+  config.network.seed = 5;
+  config.network.strategy_spec = parse_strategy_spec("two-choice");
+  config.arrival_rate = 0.5;
+  config.service_rate = 1.0;
+  config.horizon = 300.0;
+  config.warmup_fraction = 0.25;
+  return config;
+}
+
+void expect_bit_identical(const QueueingConfig& config, std::uint64_t seed) {
+  const QueueingResult shim = run_supermarket(config, seed);
+  const QueueingResult reference = run_supermarket_reference(config, seed);
+  EXPECT_EQ(shim.completed, reference.completed);
+  EXPECT_EQ(shim.max_queue, reference.max_queue);
+  // Exact double equality on purpose: the engine replays the reference
+  // loop's draw and accumulation order, so these are the same bits, not
+  // merely close values.
+  EXPECT_EQ(shim.mean_sojourn, reference.mean_sojourn);
+  EXPECT_EQ(shim.mean_queue, reference.mean_queue);
+  EXPECT_EQ(shim.mean_hops, reference.mean_hops);
+  EXPECT_EQ(shim.utilization, reference.utilization);
+}
+
+TEST(EventSupermarket, MatchesReferenceTwoChoice) {
+  expect_bit_identical(base_config(), 3);
+}
+
+TEST(EventSupermarket, MatchesReferenceAcrossStrategies) {
+  for (const char* strategy :
+       {"nearest", "two-choice(d=2, r=8)", "least-loaded(r=8)",
+        "prox-weighted(d=2, alpha=1)"}) {
+    QueueingConfig config = base_config();
+    config.network.strategy_spec = parse_strategy_spec(strategy);
+    SCOPED_TRACE(strategy);
+    expect_bit_identical(config, 11);
+  }
+}
+
+TEST(EventSupermarket, MatchesReferenceAcrossTopologies) {
+  for (const char* topology :
+       {"ring(n=100)", "tree(branching=3, depth=4)",
+        "rgg(n=100, radius=0.2, seed=7)"}) {
+    QueueingConfig config = base_config();
+    config.network.topology_spec = parse_topology_spec(topology);
+    SCOPED_TRACE(topology);
+    expect_bit_identical(config, 17);
+  }
+}
+
+TEST(EventSupermarket, MatchesReferenceUnderHighLoadAndZipf) {
+  QueueingConfig config = base_config();
+  config.arrival_rate = 0.9;
+  config.network.popularity.kind = PopularityKind::Zipf;
+  config.network.popularity.gamma = 0.8;
+  expect_bit_identical(config, 23);
+}
+
+TEST(EventSupermarket, MatchesReferenceWithSparsePlacement) {
+  // A small cache over a larger library leaves files with few (or zero)
+  // replicas, exercising the lost-arrival path on both sides.
+  QueueingConfig config = base_config();
+  config.network.num_files = 200;
+  config.network.cache_size = 2;
+  expect_bit_identical(config, 29);
+}
+
+TEST(EventSupermarket, ShimReportsStaticPolicyAsAllHits) {
+  // The same special case through the engine's own API: static policy at
+  // zero latency serves every completion from the frozen placement.
+  DynamicConfig config;
+  config.network = base_config().network;
+  config.network.trace.arrival_rate = 0.5;
+  config.horizon = 100.0;
+  const DynamicResult result = run_dynamic(config, 3);
+  EXPECT_GT(result.hits, 0u);
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_EQ(result.hit_rate, 1.0);
+  EXPECT_EQ(result.inserts, 0u);
+  EXPECT_EQ(result.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace proxcache

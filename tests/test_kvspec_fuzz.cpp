@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "event/cache_policy.hpp"
 #include "random/rng.hpp"
 #include "strategy/registry.hpp"
 #include "strategy/spec.hpp"
@@ -82,6 +83,23 @@ TEST(KvSpecFuzz, TopologyRegistryRoundTrips) {
       }
       const std::string text = spec.to_string();
       EXPECT_EQ(parse_topology_spec(text), spec) << text;
+    }
+  }
+}
+
+TEST(KvSpecFuzz, CachePolicyRegistryRoundTrips) {
+  Rng rng(0xF025);
+  for (const CachePolicyEntry& entry : CachePolicyRegistry::built_ins().all()) {
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      CachePolicySpec spec;
+      spec.name = entry.name;
+      for (const CachePolicyParamRule& rule : entry.params) {
+        if (rng.below(2) == 0) continue;
+        spec.params[rule.key] =
+            draw_value(rng, rule.min_value, rule.max_value, rule.integral);
+      }
+      const std::string text = spec.to_string();
+      EXPECT_EQ(parse_cache_policy_spec(text), spec) << text;
     }
   }
 }
@@ -206,6 +224,47 @@ TEST(KvSpecFuzz, MalformedTopologyCorpusLocksMessages) {
                "')': 'x...'");
   expect_error(parse, "ring(n=4,n=5)",
                "bad topology spec 'ring(n=4,n=5)': duplicate parameter 'n'");
+}
+
+TEST(KvSpecFuzz, MalformedCachePolicyCorpusLocksMessages) {
+  const auto parse = [](const std::string& text) {
+    return parse_cache_policy_spec(text);
+  };
+  expect_error(parse, "",
+               "bad cache-policy spec '': expected a cache-policy name");
+  expect_error(parse, "(capacity=4)",
+               "bad cache-policy spec '(capacity=4)': expected a cache-policy "
+               "name");
+  expect_error(parse, "lru capacity=4",
+               "bad cache-policy spec 'lru capacity=4': unexpected character "
+               "'c' after the cache-policy name (expected '(')");
+  expect_error(parse, "lru(capacity",
+               "bad cache-policy spec 'lru(capacity': parameter 'capacity' is "
+               "missing '=value'");
+  expect_error(parse, "lru(capacity=)",
+               "bad cache-policy spec 'lru(capacity=)': parameter 'capacity' "
+               "is missing a value");
+  expect_error(parse, "lru(capacity=4, capacity=5)",
+               "bad cache-policy spec 'lru(capacity=4, capacity=5)': "
+               "duplicate parameter 'capacity'");
+  expect_error(parse, "lru(capacity=big)",
+               "bad cache-policy spec 'lru(capacity=big)': value 'big' for "
+               "key 'capacity' is neither a number nor a known keyword");
+  expect_error(parse, "lru(capacity=4",
+               "bad cache-policy spec 'lru(capacity=4': expected ',' or ')' "
+               "after parameter 'capacity'");
+  expect_error(parse, "lru() tail",
+               "bad cache-policy spec 'lru() tail': trailing characters "
+               "after ')': 't...'");
+}
+
+TEST(KvSpecFuzz, TruncatedCachePolicySpecsAlwaysThrow) {
+  const std::string full = "ewma(capacity=8, decay=0.25)";
+  for (std::size_t len = full.find('(') + 1; len < full.size(); ++len) {
+    const std::string prefix = full.substr(0, len);
+    EXPECT_THROW((void)parse_cache_policy_spec(prefix), std::invalid_argument)
+        << prefix;
+  }
 }
 
 // Fuzzed malformed inputs: truncating any valid spec string inside the

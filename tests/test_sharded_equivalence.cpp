@@ -314,6 +314,44 @@ TEST(ShardedEquivalence, SpecCountersInvariantAcrossWidths) {
   }
 }
 
+// The commit phase now launches up to two chase tasks: the second one is
+// submitted only when the pool has at least two workers (width >= 3).
+// The window state machine admits any number of claimants — each window
+// is claimed exactly once via CAS and every claim is value-validated —
+// so one chaser, two chasers, and the serial-commit path must all land
+// on the identical RunResult. Width 2 runs a single chaser, widths 3/4/8
+// engage the dual-chase protocol; all compare against a width-1
+// reference in speculative mode.
+TEST(ShardedEquivalence, DualChaseWidthInvariance) {
+  ExperimentConfig config;
+  config.num_nodes = 400;
+  config.num_files = 80;
+  config.cache_size = 6;
+  config.popularity.kind = PopularityKind::Zipf;
+  config.popularity.gamma = 1.2;
+  config.strategy_spec = parse_strategy_spec("least-loaded(r=8)");
+  config.shard_batch = 64;  // small batches: many windows to claim
+  config.seed = 0xD0A1;
+  const SimulationContext context(config);
+  ShardStats reference;
+  const RunResult reference_result =
+      ShardedRunner(context, {1, 64, true, 8}).run(0, &reference);
+  EXPECT_GT(reference.spec_windows, 1u)
+      << "need multiple windows so both chasers can claim work";
+  for (const std::uint32_t threads : {2u, 3u, 4u, 8u}) {
+    const std::string label = "dual-chase threads=" + std::to_string(threads);
+    ShardStats stats;
+    const RunResult result =
+        ShardedRunner(context, {threads, 64, true, 8}).run(0, &stats);
+    expect_bit_identical(reference_result, result, label);
+    // Claim outcomes are schedule-determined even with two racing
+    // chasers: the counters must not drift with the worker count.
+    EXPECT_EQ(stats.spec_windows, reference.spec_windows) << label;
+    EXPECT_EQ(stats.spec_hits, reference.spec_hits) << label;
+    EXPECT_EQ(stats.spec_conflicts, reference.spec_conflicts) << label;
+  }
+}
+
 // A registry extension that only implements `assign` (no split-phase
 // protocol) must still run correctly and deterministically: the engine
 // detects `split_phase() == false` and executes it on the commit thread
