@@ -5,11 +5,12 @@
 // the O(num_nodes) memory contract of SimulationContext::run.
 //
 // Emits BENCH_throughput.json (the repo's perf-trajectory file; CI uploads
-// it as a workflow artifact). The file holds three independent blocks —
+// it as a workflow artifact). The file holds four independent blocks —
 // `results` (this default sweep), `large_topology` (million-node rows
-// produced with --large-topology), and `dynamic` (event-engine rows
-// produced with --dynamic) — and a run regenerates only its own block,
-// preserving the others verbatim (util/json_slice.hpp).
+// produced with --large-topology), `dynamic` (event-engine rows produced
+// with --dynamic), and `tiered` (tier-hierarchy rows produced with
+// --tiered) — and a run regenerates only its own block, preserving the
+// others verbatim (util/json_slice.hpp).
 //
 //   $ ./micro_throughput                      # 10M streamed requests/strategy
 //   $ ./micro_throughput --requests 2000000   # faster CI setting
@@ -19,6 +20,8 @@
 //                                             # merge into large_topology
 //   $ ./micro_throughput --dynamic --policy "lru(capacity=4)"
 //                                             # merge into dynamic
+//   $ ./micro_throughput --tiered --requests 20000 --files 500 --cache 8
+//                                             # merge into tiered
 //
 // With `--dynamic` the streaming sweep is skipped entirely: the bench
 // drives the discrete-event engine (src/event/) over every requested
@@ -44,11 +47,14 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/experiment.hpp"
 #include "core/request.hpp"
 #include "core/simulation.hpp"
 #include "event/engine.hpp"
 #include "parallel/sharded_runner.hpp"
+#include "scenario/registry.hpp"
 #include "strategy/registry.hpp"
+#include "tier/registry.hpp"
 #include "util/cli.hpp"
 #include "util/json_slice.hpp"
 #include "util/memory.hpp"
@@ -179,6 +185,55 @@ std::string dynamic_row_key(const std::string& row_text) {
          jsonslice::extract_top_level(row_text, "topology");
 }
 
+/// One tier-hierarchy row (`--tiered`): a strategy x scenario pair on one
+/// tier composition, aggregated over Monte-Carlo replications. The figures
+/// the regression gate reads are the hierarchy deliverables: back-end tail
+/// load, origin hits, and the offload ratio.
+struct TieredRow {
+  std::string tier_strategy;
+  std::string scenario;
+  std::string tiers;
+  std::size_t num_nodes = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t requests = 0;  ///< per replication
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;  ///< across all replications
+  double max_load = 0.0;
+  double comm_cost = 0.0;
+  double back_tail = 0.0;    ///< mean back-end p99 node load
+  double back_max = 0.0;     ///< mean back-end max node load
+  double origin_hits = 0.0;  ///< mean requests absorbed by the origin
+  double origin_offload = 0.0;
+  std::uint64_t peak_rss = 0;
+};
+
+std::string tiered_row_json(const TieredRow& row) {
+  std::ostringstream os;
+  os << "{\"tier_strategy\": \"" << row.tier_strategy << "\", "
+     << "\"scenario\": \"" << row.scenario << "\", "
+     << "\"tiers\": \"" << row.tiers << "\", "
+     << "\"num_nodes\": " << row.num_nodes << ", "
+     << "\"runs\": " << row.runs << ", "
+     << "\"requests\": " << row.requests << ", "
+     << "\"seconds\": " << row.seconds << ", "
+     << "\"requests_per_sec\": " << row.requests_per_sec << ", "
+     << "\"max_load\": " << row.max_load << ", "
+     << "\"comm_cost\": " << row.comm_cost << ", "
+     << "\"back_tail\": " << row.back_tail << ", "
+     << "\"back_max\": " << row.back_max << ", "
+     << "\"origin_hits\": " << row.origin_hits << ", "
+     << "\"origin_offload\": " << row.origin_offload << ", "
+     << "\"peak_rss_bytes\": " << row.peak_rss << "}";
+  return os.str();
+}
+
+/// Identity of a tiered row: the (tier_strategy, scenario) pair — the key
+/// the regression gate tracks.
+std::string tiered_row_key(const std::string& row_text) {
+  return jsonslice::extract_top_level(row_text, "tier_strategy") + "|" +
+         jsonslice::extract_top_level(row_text, "scenario");
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return {};
@@ -260,6 +315,21 @@ int main(int argc, char** argv) {
                 "bench the discrete-event dynamic engine instead of the "
                 "streaming sweep; rows (strategy x policy) merge into the "
                 "JSON's dynamic block");
+  args.add_flag("tiered",
+                "bench cross-tier strategies on a tier hierarchy instead of "
+                "the streaming sweep; rows (tier-strategy x scenario) merge "
+                "into the JSON's tiered block");
+  args.add_string("tiers", "cdn",
+                  "--tiered: tier preset name or tiers(...) spec");
+  args.add_int("runs", 5, "--tiered: Monte-Carlo replications per row");
+  args.add_string_list(
+      "scenario", {},
+      "--tiered: scenario preset per row (repeatable; default: hotspot, "
+      "flash-crowd)");
+  args.add_string_list(
+      "tier-strategy", {},
+      "--tiered: strategy per row (repeatable; default: nearest, "
+      "front-first, cross-two-choice, cross-prox-weighted)");
   args.add_double("arrival", 0.7, "--dynamic: per-node Poisson arrival rate");
   args.add_double("horizon", 200.0, "--dynamic: simulated time units");
   args.add_double("hop-latency", 0.1,
@@ -290,7 +360,7 @@ int main(int argc, char** argv) {
   }
 
   for (const char* name : {"requests", "n", "files", "cache", "threads",
-                           "batch", "spec-window"}) {
+                           "batch", "spec-window", "runs"}) {
     if (args.get_int(name) <= 0) {
       std::cerr << "--" << name << " must be positive\n";
       return 2;
@@ -415,6 +485,124 @@ int main(int argc, char** argv) {
           "event-engine rows, merged across --dynamic runs; keyed "
           "strategy|policy|topology",
           row_texts, dynamic_row_key);
+      std::ofstream json(json_path);
+      if (!json) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+      }
+      json << document;
+      std::cout << "[json] wrote " << json_path << "\n";
+    }
+    return 0;
+  }
+
+  if (args.get_flag("tiered")) {
+    // Tier-hierarchy sweep: the headline deliverable of the tier layer.
+    // Each row runs one strategy x scenario pair on the composed hierarchy
+    // through the Monte-Carlo batch engine and reports the cross-tier
+    // figures — back-end tail load, origin hits, offload ratio — that the
+    // regression gate tracks per (tier_strategy, scenario) key.
+    if (!args.get_string("topology").empty()) {
+      std::cerr << "--tiered composes its own topology; drop --topology\n";
+      return 2;
+    }
+    TierSpec tier_spec;
+    try {
+      tier_spec = TierRegistry::built_ins().resolve(args.get_string("tiers"));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+    std::vector<std::string> scenarios = args.get_string_list("scenario");
+    if (scenarios.empty()) scenarios = {"hotspot", "flash-crowd"};
+    std::vector<std::string> strategies = args.get_string_list("tier-strategy");
+    if (strategies.empty()) {
+      strategies = {"nearest", "front-first", "cross-two-choice",
+                    "cross-prox-weighted"};
+    }
+    const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+
+    std::cout << "== micro_throughput --tiered ==\n"
+              << "tier hierarchy: " << tier_spec.to_string() << ", K="
+              << base.num_files << ", M=" << base.cache_size << ", "
+              << requests << " requests x " << runs << " runs per row\n\n";
+    const bench::ScopedBenchTimer bench_timer("micro_throughput --tiered");
+
+    std::vector<std::string> row_texts;
+    Table table({"strategy", "scenario", "req/s", "max load", "comm cost",
+                 "back tail", "origin hits", "offload %", "s"});
+    for (const std::string& scenario_name : scenarios) {
+      const Scenario* scenario =
+          ScenarioRegistry::built_ins().find(scenario_name);
+      if (scenario == nullptr) {
+        std::cerr << "unknown scenario '" << scenario_name << "' (known: "
+                  << ScenarioRegistry::built_ins().names() << ")\n";
+        return 2;
+      }
+      for (const std::string& strategy : strategies) {
+        ExperimentConfig config = scenario->config;
+        config.tier_spec = tier_spec;
+        config.num_files = base.num_files;
+        config.cache_size = base.cache_size;
+        config.num_requests = requests;
+        config.seed = base.seed;
+        WallTimer timer;
+        ExperimentResult result;
+        try {
+          config.strategy_spec = parse_strategy_spec(strategy);
+          result = run_experiment(config, runs);
+        } catch (const std::invalid_argument& error) {
+          std::cerr << strategy << " / " << scenario_name << ": "
+                    << error.what() << "\n";
+          return 2;
+        }
+        TieredRow row;
+        row.tier_strategy = strategy;
+        row.scenario = scenario_name;
+        row.tiers = tier_spec.to_string();
+        row.num_nodes = config.resolved_nodes();
+        row.runs = runs;
+        row.requests = requests;
+        row.seconds = timer.seconds();
+        row.requests_per_sec =
+            row.seconds > 0.0
+                ? static_cast<double>(requests * runs) / row.seconds
+                : 0.0;
+        row.max_load = result.max_load.mean();
+        row.comm_cost = result.comm_cost.mean();
+        for (const TierSummary& tier : result.tiers) {
+          if (tier.role == "origin") {
+            row.origin_hits = tier.served.mean();
+          } else {
+            // Hierarchy order: the last non-origin tier is the back end.
+            row.back_tail = tier.tail_p99.mean();
+            row.back_max = tier.max_load.mean();
+          }
+        }
+        row.origin_offload = result.origin_offload.mean();
+        row.peak_rss = peak_rss_bytes();
+        row_texts.push_back(tiered_row_json(row));
+        table.add_row({Cell(row.tier_strategy), Cell(row.scenario),
+                       Cell(row.requests_per_sec, 0), Cell(row.max_load, 1),
+                       Cell(row.comm_cost, 2), Cell(row.back_tail, 1),
+                       Cell(row.origin_hits, 1),
+                       Cell(row.origin_offload * 100.0, 2),
+                       Cell(row.seconds, 2)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    bench::print_verdict(!row_texts.empty(),
+                         "tier hierarchy processed every strategy x scenario "
+                         "row");
+
+    const std::string json_path = args.get_string("json");
+    if (!json_path.empty()) {
+      const std::string document = merge_rows_block(
+          read_file(json_path), "tiered",
+          "tier-hierarchy rows, merged across --tiered runs; keyed "
+          "tier_strategy|scenario",
+          row_texts, tiered_row_key);
       std::ofstream json(json_path);
       if (!json) {
         std::cerr << "cannot write " << json_path << "\n";
@@ -614,7 +802,7 @@ int main(int argc, char** argv) {
       document = os.str();
       // A rerun of the default sweep must not clobber the separately
       // produced merge-mode blocks.
-      for (const char* block : {"large_topology", "dynamic"}) {
+      for (const char* block : {"large_topology", "dynamic", "tiered"}) {
         const std::string preserved =
             jsonslice::extract_top_level(existing, block);
         if (!preserved.empty()) {

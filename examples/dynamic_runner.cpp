@@ -26,7 +26,9 @@
 #include "event/engine.hpp"
 #include "scenario/registry.hpp"
 #include "strategy/registry.hpp"
+#include "tier/registry.hpp"
 #include "topology/registry.hpp"
+#include "util/catalogs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -48,6 +50,11 @@ int main(int argc, char** argv) {
   args.add_string("topology", "",
                   "topology spec, e.g. 'ring(n=400)'; empty = the torus "
                   "of --n servers (or the scenario's own lattice)");
+  args.add_string("tiers", "",
+                  "tier hierarchy: a preset name (see --list) or a "
+                  "tiers(...) spec; misses cascade down the tiers and the "
+                  "per-tier queue slice is printed (mutually exclusive "
+                  "with --topology)");
   args.add_string_list(
       "policy", {"static", "lru(capacity=4)"},
       "cache replacement policy spec (repeatable), e.g. 'lfu' or "
@@ -64,8 +71,8 @@ int main(int argc, char** argv) {
                 "response arrives");
   args.add_int("windows", 8, "time windows for the metric series");
   args.add_flag("list",
-                "print the registered scenarios and cache policies, then "
-                "exit");
+                "print the registered scenarios, strategies, topologies, "
+                "cache policies and tier presets, then exit");
   try {
     args.parse(argc, argv);
   } catch (const CliError& error) {
@@ -77,15 +84,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.get_flag("list")) {
-    std::cout << "scenarios:\n";
-    for (const Scenario& scenario : ScenarioRegistry::built_ins().all()) {
-      std::cout << "  " << scenario.name << " — " << scenario.summary << "\n";
-    }
-    std::cout << "\ncache policies:\n";
-    for (const CachePolicyEntry& entry :
-         CachePolicyRegistry::built_ins().all()) {
-      std::cout << "  " << entry.name << " — " << entry.summary << "\n";
-    }
+    print_catalogs(std::cout);
     return 0;
   }
 
@@ -106,6 +105,10 @@ int main(int argc, char** argv) {
     if (!args.get_string("topology").empty()) {
       config.network.topology_spec =
           parse_topology_spec(args.get_string("topology"));
+    }
+    if (!args.get_string("tiers").empty()) {
+      config.network.tier_spec =
+          TierRegistry::built_ins().resolve(args.get_string("tiers"));
     }
     config.network.trace.arrival_rate = args.get_double("arrival");
     config.service_rate = args.get_double("service");
@@ -131,7 +134,8 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   Table summary({"policy", "hit%", "p99 sojourn", "mean sojourn",
-                 "max queue", "mean hops", "completed", "evictions"});
+                 "max queue", "mean hops", "completed", "evictions",
+                 "origin fetch"});
   std::vector<DynamicResult> results;
   for (const CachePolicySpec& policy : policies) {
     config.cache_policy = policy;
@@ -149,12 +153,24 @@ int main(int argc, char** argv) {
                      Cell(static_cast<double>(result.queueing.max_queue), 0),
                      Cell(result.queueing.mean_hops, 2),
                      Cell(static_cast<double>(result.queueing.completed), 0),
-                     Cell(static_cast<double>(result.evictions), 0)});
+                     Cell(static_cast<double>(result.evictions), 0),
+                     Cell(static_cast<double>(result.origin_fetches), 0)});
     results.push_back(std::move(result));
   }
   summary.print(std::cout);
 
   for (std::size_t p = 0; p < policies.size(); ++p) {
+    if (!results[p].tier_queues.empty()) {
+      std::cout << "\ntier queues — " << policies[p].to_string() << ":\n";
+      Table tiers({"tier", "admitted", "max queue"});
+      for (const DynamicResult::TierQueueStats& tier :
+           results[p].tier_queues) {
+        tiers.add_row({Cell(tier.role),
+                       Cell(static_cast<double>(tier.admitted), 0),
+                       Cell(static_cast<double>(tier.max_queue), 0)});
+      }
+      tiers.print(std::cout);
+    }
     std::cout << "\nwindowed series — " << policies[p].to_string() << ":\n";
     Table windows({"window", "arrivals", "hit%", "p99 sojourn", "max queue"});
     for (const WindowMetrics& w : results[p].windows) {

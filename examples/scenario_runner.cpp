@@ -29,7 +29,10 @@
 #include "core/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "strategy/registry.hpp"
+#include "tier/materialize.hpp"
+#include "tier/registry.hpp"
 #include "topology/registry.hpp"
+#include "util/catalogs.hpp"
 #include "util/cli.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
@@ -53,9 +56,15 @@ int main(int argc, char** argv) {
       "topology spec string (see --list), repeatable, e.g. 'ring(n=400)' "
       "or 'tree(branching=4, depth=6)'; 'default' keeps each preset's "
       "lattice (honoring --n)");
+  args.add_string(
+      "tiers", "",
+      "tier hierarchy: a preset name (see --list) or a tiers(...) spec, "
+      "e.g. 'tiers(front=torus(side=8)x8, back=ring(n=64), origin=1)'; "
+      "composes front/back/origin tiers and enables the cross-tier "
+      "strategies (mutually exclusive with --topology)");
   args.add_flag("list",
-                "print the registered scenarios, strategies and topologies, "
-                "then exit");
+                "print the registered scenarios, strategies, topologies, "
+                "cache policies and tier presets, then exit");
   args.add_int("runs", 20, "Monte-Carlo replications per matrix cell");
   args.add_int("seed", 0x5EED, "root seed");
   args.add_int("n", 0,
@@ -91,24 +100,21 @@ int main(int argc, char** argv) {
   const StrategyRegistry& strategies = StrategyRegistry::global();
   const TopologyRegistry& topologies = TopologyRegistry::global();
   if (args.get_flag("list")) {
-    Table listing({"scenario", "summary"});
-    for (const Scenario& scenario : registry.all()) {
-      listing.add_row({Cell(scenario.name), Cell(scenario.summary)});
-    }
-    listing.print(std::cout);
-    std::cout << "\n";
-    Table strategy_listing({"strategy", "summary"});
-    for (const StrategyEntry& entry : strategies.all()) {
-      strategy_listing.add_row({Cell(entry.name), Cell(entry.summary)});
-    }
-    strategy_listing.print(std::cout);
-    std::cout << "\n";
-    Table topology_listing({"topology", "summary"});
-    for (const TopologyEntry& entry : topologies.all()) {
-      topology_listing.add_row({Cell(entry.name), Cell(entry.summary)});
-    }
-    topology_listing.print(std::cout);
+    print_catalogs(std::cout);
     return 0;
+  }
+
+  // --tiers resolves through the tier registry (preset name or raw
+  // tiers(...) grammar) into `config.tier_spec`; config.validate() rejects
+  // a simultaneous explicit --topology below.
+  TierSpec tier_spec;
+  if (!args.get_string("tiers").empty()) {
+    try {
+      tier_spec = TierRegistry::built_ins().resolve(args.get_string("tiers"));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
   }
 
   // Every requested name is validated (a typo next to 'all' must still
@@ -195,13 +201,24 @@ int main(int argc, char** argv) {
   // string; every (scenario, strategy) cell shares the instance.
   std::map<std::string, std::shared_ptr<const Topology>> topology_cache;
 
-  Table table({"scenario", "topology", "strategy", "max load", "+/-",
-               "comm cost", "+/-", "fallback %", "drop %"});
+  // Tiered matrices grow per-tier columns: the back-end tail (p99 load of
+  // the deepest cache tier), origin hits and the offload ratio — the three
+  // numbers the cross-tier strategies compete on.
+  const bool tiered_matrix = !tier_spec.empty() && !tier_spec.degenerate();
+  std::vector<std::string> headers = {"scenario",  "topology", "strategy",
+                                      "max load",  "+/-",      "comm cost",
+                                      "+/-",       "fallback %", "drop %"};
+  if (tiered_matrix) {
+    headers.insert(headers.end(),
+                   {"back tail", "+/-", "origin hits", "offload %"});
+  }
+  Table table(std::move(headers));
   for (const Scenario* scenario : selected) {
     for (const TopologySpec& topology : topology_specs) {
       ExperimentConfig config = scenario->config;
       config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
       config.topology_spec = topology;
+      config.tier_spec = tier_spec;
       if (topology.empty() && args.get_int("n") > 0) {
         config.num_nodes = static_cast<std::size_t>(args.get_int("n"));
       }
@@ -225,14 +242,19 @@ int main(int argc, char** argv) {
       // rebinding constructor swaps only the strategy).
       std::optional<SimulationContext> base;
       try {
-        const std::string key = config.resolved_topology().to_string();
+        // A tiered config has no single registry topology, so the cache is
+        // keyed by the tier-spec string instead (it also captures the
+        // cache_size default the hierarchy inherits per tier).
+        const std::string key =
+            config.tier_spec.empty()
+                ? config.resolved_topology().to_string()
+                : config.tier_spec.to_string() + "@M=" +
+                      std::to_string(config.cache_size);
         auto cached = topology_cache.find(key);
         if (cached == topology_cache.end()) {
           config.validate();
-          cached = topology_cache
-                       .emplace(key, TopologyRegistry::global().make(
-                                         config.resolved_topology()))
-                       .first;
+          cached =
+              topology_cache.emplace(key, materialize_topology(config)).first;
         }
         base.emplace(config, cached->second);
       } catch (const std::invalid_argument& error) {
@@ -246,14 +268,36 @@ int main(int argc, char** argv) {
       for (const StrategySpec& spec : specs) {
         const SimulationContext context(*base, spec);
         const ExperimentResult result = run_experiment(context, runs, &pool);
-        table.add_row({Cell(scenario->name), Cell(topology_label),
-                       Cell(spec.to_string()),
-                       Cell(result.max_load.mean(), 2),
-                       Cell(result.max_load.standard_error(), 2),
-                       Cell(result.comm_cost.mean(), 2),
-                       Cell(result.comm_cost.standard_error(), 2),
-                       Cell(result.fallback_rate * 100.0, 1),
-                       Cell(result.drop_rate * 100.0, 1)});
+        std::vector<Cell> row = {Cell(scenario->name), Cell(topology_label),
+                                 Cell(spec.to_string()),
+                                 Cell(result.max_load.mean(), 2),
+                                 Cell(result.max_load.standard_error(), 2),
+                                 Cell(result.comm_cost.mean(), 2),
+                                 Cell(result.comm_cost.standard_error(), 2),
+                                 Cell(result.fallback_rate * 100.0, 1),
+                                 Cell(result.drop_rate * 100.0, 1)};
+        if (tiered_matrix) {
+          // "Back tail" = the deepest cache tier's p99 load; origin hits =
+          // requests the hierarchy failed to absorb.
+          const TierSummary* back = nullptr;
+          const TierSummary* origin = nullptr;
+          for (const TierSummary& tier : result.tiers) {
+            if (tier.role == "origin") {
+              origin = &tier;
+            } else {
+              back = &tier;
+            }
+          }
+          row.push_back(back != nullptr ? Cell(back->tail_p99.mean(), 2)
+                                        : Cell("-"));
+          row.push_back(back != nullptr
+                            ? Cell(back->tail_p99.standard_error(), 2)
+                            : Cell("-"));
+          row.push_back(origin != nullptr ? Cell(origin->served.mean(), 1)
+                                          : Cell(0.0, 1));
+          row.push_back(Cell(result.origin_offload.mean() * 100.0, 2));
+        }
+        table.add_row(std::move(row));
       }
     }
   }

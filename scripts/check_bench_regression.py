@@ -26,7 +26,17 @@ the commit_mode field count as "serial":
     exist, and no matched row's events_per_sec may drop by more than
     --tolerance. A file without the block — e.g. a baseline predating the
     event engine, or a fresh run that skipped --dynamic — skips the check
-    with a notice rather than failing (the block is optional by design).
+    with a notice rather than failing (the block is optional by design);
+  * when BOTH files carry a `tiered` block (tier-hierarchy rows produced by
+    micro_throughput --tiered), its rows are matched on
+    (tier_strategy, scenario) the same way: every baseline tiered row must
+    still exist and no matched row's requests_per_sec may drop by more than
+    --tolerance. The fresh block must additionally keep the hierarchy
+    deliverable: wherever a scenario has both a cross-two-choice row and a
+    nearest or front-first row, cross-two-choice must not lose on back-end
+    tail load or origin hits (the figures are seeded and deterministic, so
+    this is a correctness lock, not machine noise). Absent blocks skip with
+    a notice, like `dynamic`.
 
 Absolute req/s figures move with the host, so CI should pin runner types or
 widen --tolerance rather than chase machine noise. Only the Python standard
@@ -155,6 +165,99 @@ def check_dynamic(baseline_doc: dict, fresh_doc: dict, baseline_path: str,
                             f"{drop:.1%} (> {tolerance:.0%})")
 
 
+TierKey = tuple[str, str]
+
+
+def tiered_key_label(key: TierKey) -> str:
+    strategy, scenario = key
+    return f"tiered {strategy} under {scenario}"
+
+
+def load_tiered_rows(doc: dict, path: str) -> dict[TierKey, dict] | None:
+    """The `tiered` block's rows keyed (tier_strategy, scenario), or None
+    when the document has no such block — optional, absent in files
+    predating the tier layer or runs that skipped --tiered."""
+    block = doc.get("tiered")
+    if block is None:
+        return None
+    rows: dict[TierKey, dict] = {}
+    for index, row in enumerate(block.get("rows", [])):
+        if None in (row.get("tier_strategy"), row.get("scenario")):
+            sys.exit(f"error: tiered row {index} in {path!r} lacks a "
+                     f"tier_strategy/scenario key")
+        key = (str(row.get("tier_strategy")), str(row.get("scenario")))
+        if key in rows:
+            sys.exit(f"error: duplicate tiered row {key} in {path!r}")
+        rows[key] = row
+    return rows
+
+
+def check_tiered(baseline_doc: dict, fresh_doc: dict, baseline_path: str,
+                 fresh_path: str, tolerance: float,
+                 failures: list[str]) -> None:
+    baseline = load_tiered_rows(baseline_doc, baseline_path)
+    fresh = load_tiered_rows(fresh_doc, fresh_path)
+    if baseline is None:
+        print("[skip] tiered: baseline has no 'tiered' block")
+        return
+    if fresh is None:
+        print("[skip] tiered: fresh file has no 'tiered' block")
+        return
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            failures.append(f"fresh file has no ({tiered_key_label(key)}) "
+                            f"row, present in the baseline")
+            continue
+        try:
+            base_rps = float(base_row.get("requests_per_sec", 0.0))
+            fresh_rps = float(fresh_row.get("requests_per_sec", 0.0))
+        except (TypeError, ValueError):
+            sys.exit(f"error: row {tiered_key_label(key)} has a non-numeric "
+                     f"requests_per_sec")
+        if base_rps <= 0:
+            print(f"[skip] {tiered_key_label(key)}: baseline recorded "
+                  f"{base_rps:,.0f} req/s, no drop ratio to check")
+            continue
+        drop = 1.0 - fresh_rps / base_rps
+        marker = "FAIL" if drop > tolerance else "ok"
+        print(f"[{marker}] {tiered_key_label(key)}: "
+              f"{base_rps:,.0f} -> {fresh_rps:,.0f} req/s "
+              f"({-drop:+.1%} vs baseline, tolerance -{tolerance:.0%})")
+        if drop > tolerance:
+            failures.append(f"{tiered_key_label(key)}: req/s dropped "
+                            f"{drop:.1%} (> {tolerance:.0%})")
+    # The hierarchy deliverable: cross-tier candidate sets must keep beating
+    # the load-oblivious baselines on the back-end tail and the origin hit
+    # count. Deterministic (seeded) figures, so equality is the boundary.
+    scenarios = {scenario for (_, scenario) in fresh}
+    for scenario in sorted(scenarios):
+        cross = fresh.get(("cross-two-choice", scenario))
+        if cross is None:
+            continue
+        for rival_name in ("nearest", "front-first"):
+            rival = fresh.get((rival_name, scenario))
+            if rival is None:
+                continue
+            for metric in ("back_tail", "origin_hits"):
+                try:
+                    cross_value = float(cross.get(metric, 0.0))
+                    rival_value = float(rival.get(metric, 0.0))
+                except (TypeError, ValueError):
+                    sys.exit(f"error: tiered rows under {scenario!r} have a "
+                             f"non-numeric {metric}")
+                marker = "FAIL" if cross_value > rival_value else "ok"
+                print(f"[{marker}] tiered {scenario}: cross-two-choice "
+                      f"{metric} {cross_value:,.1f} vs {rival_name} "
+                      f"{rival_value:,.1f}")
+                if cross_value > rival_value:
+                    failures.append(
+                        f"tiered {scenario}: cross-two-choice {metric} "
+                        f"{cross_value:,.1f} exceeds {rival_name}'s "
+                        f"{rival_value:,.1f} — the hierarchy deliverable "
+                        f"regressed")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="fail when micro_throughput regressed vs the committed baseline"
@@ -263,6 +366,8 @@ def main() -> int:
 
     check_dynamic(baseline_doc, fresh_doc, args.baseline, args.fresh,
                   args.tolerance, failures)
+    check_tiered(baseline_doc, fresh_doc, args.baseline, args.fresh,
+                 args.tolerance, failures)
 
     if failures:
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)

@@ -3,10 +3,11 @@
 
 Runs the gate as a subprocess over synthetic bench files and asserts on
 exit status and the printed notices — exactly what CI observes. The cases
-that matter most are the `dynamic` block's tolerate-absent contract
-(skip-with-notice when either file lacks the block, never a KeyError) and
-the per-row failures when both files do carry it. Only the Python standard
-library is used.
+that matter most are the `dynamic` and `tiered` blocks' tolerate-absent
+contract (skip-with-notice when either file lacks the block, never a
+KeyError), the per-row failures when both files do carry it, and the
+tiered win-invariant on the fresh rows. Only the Python standard library
+is used.
 """
 
 from __future__ import annotations
@@ -33,10 +34,20 @@ def dynamic_row(strategy: str, policy: str, topology: str,
             "events_per_sec": eps}
 
 
-def bench_doc(results: list[dict], dynamic: list[dict] | None = None) -> dict:
+def tiered_row(strategy: str, scenario: str, rps: float,
+               back_tail: float = 40.0, origin_hits: float = 100.0) -> dict:
+    return {"tier_strategy": strategy, "scenario": scenario,
+            "requests_per_sec": rps, "back_tail": back_tail,
+            "origin_hits": origin_hits}
+
+
+def bench_doc(results: list[dict], dynamic: list[dict] | None = None,
+              tiered: list[dict] | None = None) -> dict:
     doc = {"bench": "micro_throughput", "threads": 1, "results": results}
     if dynamic is not None:
         doc["dynamic"] = {"note": "test", "rows": dynamic}
+    if tiered is not None:
+        doc["tiered"] = {"note": "test", "rows": tiered}
     return doc
 
 
@@ -156,6 +167,78 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("policy=lru(capacity=4)", proc.stderr)
         self.assertNotIn("policy=static", proc.stderr)
+
+    def test_tiered_blocks_absent_skip_with_notice(self) -> None:
+        baseline = bench_doc([result_row("nearest", 1000.0)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            tiered=[tiered_row("cross-two-choice", "hotspot", 2.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("[skip] tiered: baseline has no 'tiered' block",
+                      proc.stdout)
+        fresh, baseline = baseline, fresh
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("[skip] tiered: fresh file has no 'tiered' block",
+                      proc.stdout)
+
+    def test_tiered_row_drop_fails(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            tiered=[tiered_row("cross-two-choice", "hotspot", 2.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            tiered=[tiered_row("cross-two-choice", "hotspot", 0.4e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("tiered cross-two-choice under hotspot", proc.stderr)
+
+    def test_tiered_missing_fresh_row_fails(self) -> None:
+        baseline = bench_doc(
+            [result_row("nearest", 1000.0)],
+            tiered=[tiered_row("cross-two-choice", "hotspot", 2.0e6),
+                    tiered_row("front-first", "hotspot", 2.0e6)])
+        fresh = bench_doc(
+            [result_row("nearest", 1000.0)],
+            tiered=[tiered_row("cross-two-choice", "hotspot", 2.0e6)])
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("front-first", proc.stderr)
+
+    def test_tiered_win_invariant_holds(self) -> None:
+        # cross-two-choice at or below the rivals on both metrics is clean;
+        # equality is allowed because the figures are seeded.
+        rows = [tiered_row("nearest", "hotspot", 2.0e6,
+                           back_tail=52.0, origin_hits=2424.0),
+                tiered_row("front-first", "hotspot", 2.0e6,
+                           back_tail=79.2, origin_hits=2945.2),
+                tiered_row("cross-two-choice", "hotspot", 2.0e6,
+                           back_tail=52.0, origin_hits=143.6)]
+        doc = bench_doc([result_row("nearest", 1000.0)], tiered=rows)
+        proc = self.run_gate(doc, doc)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("bench check clean", proc.stdout)
+
+    def test_tiered_win_invariant_regression_fails(self) -> None:
+        # The fresh block decides the invariant: cross-two-choice losing on
+        # back-end tail to nearest must fail even with healthy throughput.
+        baseline_rows = [
+            tiered_row("nearest", "flash-crowd", 2.0e6,
+                       back_tail=50.6, origin_hits=2394.2),
+            tiered_row("cross-two-choice", "flash-crowd", 2.0e6,
+                       back_tail=41.0, origin_hits=143.6)]
+        fresh_rows = [
+            tiered_row("nearest", "flash-crowd", 2.0e6,
+                       back_tail=50.6, origin_hits=2394.2),
+            tiered_row("cross-two-choice", "flash-crowd", 2.0e6,
+                       back_tail=66.0, origin_hits=143.6)]
+        baseline = bench_doc([result_row("nearest", 1000.0)],
+                             tiered=baseline_rows)
+        fresh = bench_doc([result_row("nearest", 1000.0)], tiered=fresh_rows)
+        proc = self.run_gate(baseline, fresh)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("hierarchy deliverable regressed", proc.stderr)
 
 
 if __name__ == "__main__":

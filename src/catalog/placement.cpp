@@ -88,6 +88,65 @@ Placement Placement::generate(std::size_t num_nodes,
                    cache_size, mode);
 }
 
+Placement Placement::full(std::size_t num_nodes, std::size_t num_files,
+                          PlacementMode mode) {
+  PROXCACHE_REQUIRE(num_nodes >= 1, "placement needs >= 1 node");
+  PROXCACHE_REQUIRE(num_files >= 1, "placement needs >= 1 file");
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(num_nodes + 1);
+  offsets.push_back(0);
+  std::vector<FileId> files;
+  files.reserve(num_nodes * num_files);
+  std::vector<std::vector<NodeId>> replicas(num_files);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (FileId j = 0; j < num_files; ++j) {
+      files.push_back(j);
+      replicas[j].push_back(static_cast<NodeId>(u));
+    }
+    offsets.push_back(static_cast<std::uint32_t>(files.size()));
+  }
+  return Placement(std::move(offsets), std::move(files), std::move(replicas),
+                   num_files, mode);
+}
+
+Placement Placement::compose(std::span<const Placement> parts) {
+  PROXCACHE_REQUIRE(!parts.empty(), "compose needs >= 1 placement");
+  const std::size_t num_files = parts.front().num_files();
+  std::size_t total_nodes = 0;
+  std::size_t total_entries = 0;
+  std::size_t cache_size = 0;
+  for (const Placement& part : parts) {
+    PROXCACHE_REQUIRE(part.num_files() == num_files,
+                      "composed placements must share one file library");
+    total_nodes += part.num_nodes();
+    total_entries += part.node_files_.size();
+    cache_size = std::max(cache_size, part.cache_size());
+  }
+
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(total_nodes + 1);
+  offsets.push_back(0);
+  std::vector<FileId> files;
+  files.reserve(total_entries);
+  std::vector<std::vector<NodeId>> replicas(num_files);
+
+  std::uint32_t base = 0;
+  for (const Placement& part : parts) {
+    for (NodeId u = 0; u < part.num_nodes(); ++u) {
+      for (const FileId j : part.files_of(u)) files.push_back(j);
+      offsets.push_back(static_cast<std::uint32_t>(files.size()));
+    }
+    for (FileId j = 0; j < num_files; ++j) {
+      for (const NodeId u : part.replicas(j)) {
+        replicas[j].push_back(base + u);
+      }
+    }
+    base += static_cast<std::uint32_t>(part.num_nodes());
+  }
+  return Placement(std::move(offsets), std::move(files), std::move(replicas),
+                   cache_size, parts.front().mode());
+}
+
 bool Placement::caches(NodeId u, FileId j) const {
   const auto list = files_of(u);
   return std::binary_search(list.begin(), list.end(), j);

@@ -52,6 +52,19 @@ class Placement {
                             std::size_t cache_size, PlacementMode mode,
                             Rng& rng);
 
+  /// Every node caches the whole `num_files` library — the placement of an
+  /// origin tier (an origin *has* everything; nothing to sample).
+  static Placement full(std::size_t num_nodes, std::size_t num_files,
+                        PlacementMode mode);
+
+  /// Concatenate per-tier placements into one placement over the composed
+  /// node-id space: part `i`'s node `u` becomes global node
+  /// `sum of earlier part sizes + u`. All parts must cover the same file
+  /// library; replica lists merge in part order (bases ascend, so they
+  /// stay sorted). `cache_size()` of the composition is the largest
+  /// per-part capacity.
+  static Placement compose(std::span<const Placement> parts);
+
   [[nodiscard]] std::size_t num_nodes() const {
     return node_offsets_.size() - 1;
   }

@@ -20,11 +20,23 @@ bool is_lattice_spec(const TopologySpec& spec) {
 }  // namespace
 
 TopologySpec ExperimentConfig::resolved_topology() const {
+  PROXCACHE_REQUIRE(!tiered(),
+                    "a tiered config has no single registry topology; "
+                    "materialize it through tier/materialize.hpp");
+  if (!tier_spec.empty()) return tier_spec.levels.front().topology;
   return topology_spec.empty() ? topology_spec_from_lattice(num_nodes, wrap)
                                : topology_spec;
 }
 
 std::size_t ExperimentConfig::resolved_nodes() const {
+  if (!tier_spec.empty()) {
+    const TopologyRegistry& registry = TopologyRegistry::global();
+    std::size_t total = 0;
+    for (const TierLevelSpec& level : tier_spec.levels) {
+      total += level.clusters * registry.node_count(level.topology);
+    }
+    return total;
+  }
   if (topology_spec.empty()) return num_nodes;
   return TopologyRegistry::global().node_count(topology_spec);
 }
@@ -37,7 +49,10 @@ StrategySpec ExperimentConfig::resolved_strategy() const {
 }
 
 void ExperimentConfig::validate() const {
-  if (topology_spec.empty()) {
+  PROXCACHE_REQUIRE(tier_spec.empty() || topology_spec.empty(),
+                    "tier_spec and topology_spec are mutually exclusive; "
+                    "a tier spec names its inner topologies itself");
+  if (topology_spec.empty() && tier_spec.empty()) {
     PROXCACHE_REQUIRE(Lattice::is_perfect_square(num_nodes),
                       "num_nodes must be a perfect square, got " +
                           std::to_string(num_nodes));
@@ -49,8 +64,17 @@ void ExperimentConfig::validate() const {
   // with_defaults validates (unknown name/key, ranges, node-count cap)
   // and returns the defaults-filled spec the side check below reads —
   // one registry pass, no drift from the declared defaults.
-  const TopologySpec topology =
-      TopologyRegistry::global().with_defaults(resolved_topology());
+  TopologySpec topology;
+  if (tiered()) {
+    // Every inner topology must validate; the composed node count is
+    // bounded by TierSet::build. The tier grammar already enforced the
+    // structural rules (role order, single deepest cluster, capacities).
+    for (const TierLevelSpec& level : tier_spec.levels) {
+      (void)TopologyRegistry::global().with_defaults(level.topology);
+    }
+  } else {
+    topology = TopologyRegistry::global().with_defaults(resolved_topology());
+  }
   PROXCACHE_REQUIRE(num_files >= 1, "num_files must be >= 1");
   PROXCACHE_REQUIRE(cache_size >= 1, "cache_size must be >= 1");
   PROXCACHE_REQUIRE(threads >= 1 && threads <= 1024,
@@ -59,7 +83,15 @@ void ExperimentConfig::validate() const {
                     "shard_batch must be in [1, 2^22]");
   PROXCACHE_REQUIRE(shard_spec_window >= 1 && shard_spec_window <= (1u << 20),
                     "shard_spec_window must be in [1, 2^20]");
-  StrategyRegistry::global().validate(resolved_strategy());
+  const StrategySpec strategy = resolved_strategy();
+  StrategyRegistry::global().validate(strategy);
+  if (StrategyRegistry::global().at(strategy.name).requires_tiers) {
+    PROXCACHE_REQUIRE(tiered(),
+                      "strategy '" + strategy.name +
+                          "' routes across cache tiers; configure a tier "
+                          "hierarchy (e.g. front=torus(side=8)x8, "
+                          "back=ring(n=64), origin=1)");
+  }
   if (popularity.kind == PopularityKind::Zipf) {
     PROXCACHE_REQUIRE(popularity.gamma >= 0.0, "zipf gamma must be >= 0");
   }
@@ -143,7 +175,9 @@ void ExperimentConfig::validate() const {
 std::string ExperimentConfig::describe() const {
   std::ostringstream os;
   os << "n=" << resolved_nodes() << " K=" << num_files << " M=" << cache_size
-     << " " << resolved_topology().to_string() << " "
+     << " "
+     << (tiered() ? tier_spec.to_string() : resolved_topology().to_string())
+     << " "
      << popularity.materialize(num_files).describe() << " ";
   if (trace.kind != TraceKind::Static) {
     os << "trace=" << to_string(trace.kind) << " ";

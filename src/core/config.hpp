@@ -13,6 +13,7 @@
 #include "catalog/popularity.hpp"
 #include "scenario/trace_spec.hpp"
 #include "strategy/spec.hpp"
+#include "tier/spec.hpp"
 #include "topology/lattice.hpp"
 #include "topology/spec.hpp"
 #include "util/types.hpp"
@@ -78,6 +79,14 @@ struct ExperimentConfig {
   /// (topology/registry.hpp), e.g. `parse_topology_spec("ring(n=4096)")`.
   /// When empty (the default) the legacy lattice knobs above apply.
   TopologySpec topology_spec;
+  /// Optional cache hierarchy (tier/spec.hpp): compose registered
+  /// topologies into front/mid/back/origin tiers, e.g.
+  /// `parse_tier_spec("front=torus(side=8)x8, back=ring(n=64), origin=1")`.
+  /// Empty (the default) keeps the flat single-tier engine; a *degenerate*
+  /// spec (one cache tier, one cluster, no capacity override) resolves to
+  /// its inner topology and runs the flat path bit-identically. Mutually
+  /// exclusive with `topology_spec`.
+  TierSpec tier_spec;
   std::size_t num_files = 500;   ///< K
   std::size_t cache_size = 10;   ///< M
   PlacementMode placement_mode = PlacementMode::ProportionalWithReplacement;
@@ -123,17 +132,28 @@ struct ExperimentConfig {
   /// results across all values.
   std::uint32_t shard_spec_window = 32;
 
-  /// The node count actually in effect: the topology registry's count for
-  /// `topology_spec` when set, otherwise `num_nodes`.
+  /// True when the experiment runs the composed multi-tier hierarchy
+  /// (tier/tier_set.hpp). Degenerate single-tier specs do not count: they
+  /// resolve to their inner topology and take the flat path.
+  [[nodiscard]] bool tiered() const {
+    return !tier_spec.empty() && !tier_spec.degenerate();
+  }
+
+  /// The node count actually in effect: the composed tier total when
+  /// `tier_spec` is set, the topology registry's count for `topology_spec`
+  /// when set, otherwise `num_nodes`.
   [[nodiscard]] std::size_t resolved_nodes() const;
 
   [[nodiscard]] std::size_t effective_requests() const {
     return num_requests == 0 ? resolved_nodes() : num_requests;
   }
 
-  /// The topology actually in effect: `topology_spec` when set, otherwise
-  /// the legacy lattice knobs mapped onto an equivalent registry spec. This
-  /// is what the simulator hands to TopologyRegistry::make.
+  /// The topology actually in effect for the *flat* path: `topology_spec`
+  /// when set, a degenerate `tier_spec`'s inner topology, otherwise the
+  /// legacy lattice knobs mapped onto an equivalent registry spec. This is
+  /// what the simulator hands to TopologyRegistry::make. Throws when the
+  /// config is tiered — a composed hierarchy has no single registry spec;
+  /// tiered callers materialize through tier/materialize.hpp instead.
   [[nodiscard]] TopologySpec resolved_topology() const;
 
   /// The strategy actually in effect: `strategy_spec` when set, otherwise

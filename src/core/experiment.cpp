@@ -22,6 +22,21 @@ ExperimentResult aggregate(const std::vector<RunResult>& results) {
     total_fallbacks += run.fallbacks;
     total_resampled += run.resampled;
     total_dropped += run.dropped;
+    if (!run.tier_loads.empty()) {
+      if (aggregate.tiers.empty()) {
+        aggregate.tiers.resize(run.tier_loads.size());
+        for (std::size_t t = 0; t < run.tier_loads.size(); ++t) {
+          aggregate.tiers[t].role = run.tier_loads[t].role;
+        }
+      }
+      for (std::size_t t = 0; t < run.tier_loads.size(); ++t) {
+        const TierLoadStats& tier = run.tier_loads[t];
+        aggregate.tiers[t].served.add(static_cast<double>(tier.served));
+        aggregate.tiers[t].max_load.add(static_cast<double>(tier.max_load));
+        aggregate.tiers[t].tail_p99.add(static_cast<double>(tier.tail_p99));
+      }
+      aggregate.origin_offload.add(run.origin_offload());
+    }
   }
   if (total_requests > 0) {
     const auto denom = static_cast<double>(total_requests);

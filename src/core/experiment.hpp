@@ -6,6 +6,8 @@
 /// independent of thread count — each replication derives its own seed.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/simulation.hpp"
@@ -14,6 +16,14 @@
 #include "stats/summary.hpp"
 
 namespace proxcache {
+
+/// Per-tier aggregates across replications (tiered configs only).
+struct TierSummary {
+  std::string role;   ///< tier role, hierarchy order preserved
+  Summary served;     ///< requests absorbed by the tier, across runs
+  Summary max_load;   ///< per-run max node load within the tier
+  Summary tail_p99;   ///< per-run p99 node load within the tier
+};
 
 /// Aggregated metrics over replications.
 struct ExperimentResult {
@@ -24,6 +34,11 @@ struct ExperimentResult {
   double drop_rate = 0.0;      ///< drops per request (pooled)
   Histogram pooled_load_histogram;  ///< merged server-load histogram
   std::size_t runs = 0;
+  /// Hierarchy metrics, one entry per tier (empty on flat configs).
+  std::vector<TierSummary> tiers;
+  /// Distribution of the per-run origin-offload ratio (empty on flat
+  /// configs — check `tiers.empty()` before reading).
+  Summary origin_offload;
 };
 
 /// Run `runs` independent replications sharing `context`'s per-config

@@ -4,6 +4,9 @@
 
 #include "random/seeding.hpp"
 #include "strategy/registry.hpp"
+#include "tier/materialize.hpp"
+#include "tier/tier_set.hpp"
+#include "tier/tiered_topology.hpp"
 
 namespace proxcache {
 
@@ -11,12 +14,8 @@ namespace {
 
 Placement make_placement(const SimulationContext& context,
                          std::uint64_t run_index) {
-  const ExperimentConfig& config = context.config();
-  Rng placement_rng(
-      derive_seed(config.seed, {run_index, seed_phase::kPlacement}));
-  return Placement::generate(config.num_nodes, context.popularity(),
-                             config.cache_size, config.placement_mode,
-                             placement_rng);
+  return materialize_placement(context.config(), context.topology(),
+                               context.popularity(), run_index);
 }
 
 /// Repair-stream contract: the materialized pipeline drew all Resample
@@ -100,6 +99,25 @@ RunResult RunHarness::finalize() const {
         std::min(result.placement_min_distinct, placement.distinct_count(u));
   }
   result.files_with_replicas = placement.files_with_replicas();
+  if (const TieredTopology* tiered = context_->topology().as_tiered()) {
+    // Slice the one global load vector by tier ranges — the engines track
+    // loads tier-blind; hierarchy metrics are a pure post-pass.
+    const std::vector<Load>& loads = tracker.loads();
+    std::vector<Load> slice;
+    for (const TierLevel& level : tiered->tier_set().levels()) {
+      slice.assign(loads.begin() + level.base,
+                   loads.begin() + level.base + level.nodes);
+      TierLoadStats stats;
+      stats.role = level.spec.role;
+      for (const Load value : slice) {
+        stats.served += value;
+        stats.max_load = std::max(stats.max_load, value);
+      }
+      std::sort(slice.begin(), slice.end());
+      stats.tail_p99 = slice[((slice.size() - 1) * 99) / 100];
+      result.tier_loads.push_back(std::move(stats));
+    }
+  }
   return result;
 }
 

@@ -5,7 +5,7 @@
 #include "core/request.hpp"
 #include "core/run_harness.hpp"
 #include "parallel/sharded_runner.hpp"
-#include "topology/registry.hpp"
+#include "tier/materialize.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -19,9 +19,22 @@ const ExperimentConfig& validated(const ExperimentConfig& config) {
 
 }  // namespace
 
+std::uint64_t RunResult::origin_hits() const {
+  for (const TierLoadStats& tier : tier_loads) {
+    if (tier.role == "origin") return tier.served;
+  }
+  return 0;
+}
+
+double RunResult::origin_offload() const {
+  if (requests == 0) return 1.0;
+  return 1.0 - static_cast<double>(origin_hits()) /
+                   static_cast<double>(requests);
+}
+
 SimulationContext::SimulationContext(const ExperimentConfig& config)
     : config_(validated(config)),
-      topology_(TopologyRegistry::global().make(config_.resolved_topology())),
+      topology_(materialize_topology(config_)),
       popularity_(config_.popularity.materialize(config_.num_files)) {
   // Synchronize the legacy node-count knob with the materialized topology
   // so placement, trackers and `effective_requests` all agree on `n` even

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "stats/histogram.hpp"
@@ -22,6 +24,16 @@
 #include "util/types.hpp"
 
 namespace proxcache {
+
+/// Per-tier slice of one run's load metrics (tiered runs only; flat runs
+/// leave `RunResult::tier_loads` empty). Sliced by RunHarness::finalize
+/// from the one global LoadTracker — the engines never track tiers.
+struct TierLoadStats {
+  std::string role;            ///< tier role ("front", "back", "origin"…)
+  std::uint64_t served = 0;    ///< requests served by this tier's nodes
+  Load max_load = 0;           ///< max per-node load within the tier
+  Load tail_p99 = 0;           ///< 99th-percentile per-node load in the tier
+};
 
 /// Metrics of one simulation run.
 struct RunResult {
@@ -35,6 +47,16 @@ struct RunResult {
   /// Placement-side observables (cheap; always collected).
   std::size_t placement_min_distinct = 0;  ///< min_u t(u)
   std::size_t files_with_replicas = 0;
+  /// Per-tier load slices, one entry per tier in hierarchy order (empty on
+  /// flat runs).
+  std::vector<TierLoadStats> tier_loads;
+
+  /// Requests the origin tier absorbed (0 when no origin tier exists).
+  [[nodiscard]] std::uint64_t origin_hits() const;
+  /// Fraction of served requests the cache tiers kept *off* the origin:
+  /// `1 - origin_hits / requests` (1.0 when nothing reached the origin or
+  /// no origin tier exists).
+  [[nodiscard]] double origin_offload() const;
 };
 
 /// Immutable per-config state shared by every replication of one

@@ -60,6 +60,10 @@ struct ProposedCandidate {
   NodeId node = kInvalidNode;
   Hop hops = 0;
   double weight = 0.0;
+  /// Hierarchy tier the candidate lives in (tier/strategies.hpp); 0 on
+  /// flat topologies. Rides the arena so cross-tier `choose` can apply
+  /// depth tie-breaks without re-locating the node.
+  std::uint32_t tier = 0;
 };
 
 /// Per-shard scratch: `propose` appends candidates here; slices are handed

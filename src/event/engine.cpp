@@ -14,7 +14,9 @@
 #include "spatial/replica_index.hpp"
 #include "strategy/queue_view.hpp"
 #include "strategy/registry.hpp"
-#include "topology/registry.hpp"
+#include "tier/materialize.hpp"
+#include "tier/tier_set.hpp"
+#include "tier/tiered_topology.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
@@ -66,15 +68,19 @@ DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed) {
                     "metric windows must be >= 1");
 
   const auto& net = config.network;
-  const std::shared_ptr<const Topology> topology =
-      TopologyRegistry::global().make(net.resolved_topology());
+  const std::shared_ptr<const Topology> topology = materialize_topology(net);
   const Popularity popularity = net.popularity.materialize(net.num_files);
 
-  Rng placement_rng(derive_seed(seed, {0, seed_phase::kPlacement}));
-  const Placement placement = Placement::generate(
-      topology->size(), popularity, net.cache_size, net.placement_mode,
-      placement_rng);
+  // The dynamic engine's root seed is its own parameter, not the config
+  // knob; rebase the config copy so the shared materialize path derives
+  // the placement streams from it (flat path: bit-identical to the
+  // historical inline `{0, kPlacement}` draw).
+  ExperimentConfig seeded = net;
+  seeded.seed = seed;
+  const Placement placement =
+      materialize_placement(seeded, *topology, popularity, /*run_index=*/0);
   const ReplicaIndex index(*topology, placement);
+  const TieredTopology* tiered = topology->as_tiered();
 
   // Strategies see live queue lengths, so a stale-information request
   // cannot be honored — reject it loudly rather than silently simulating a
@@ -102,11 +108,21 @@ DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed) {
   CacheState cache(placement);
   DynamicResult result;
 
+  // Per-node policy capacity: flat runs use the config knob everywhere;
+  // tiered runs use each tier's resolved capacity, and origin nodes hold
+  // the full catalog (they never evict — the origin *is* the library).
+  const auto node_capacity = [&](NodeId u) -> std::size_t {
+    if (tiered == nullptr) return net.cache_size;
+    const TierLevel& level =
+        tiered->tier_set().levels()[tiered->tier_set().locate(u).tier];
+    return level.is_origin() ? net.num_files : level.cache_size;
+  };
+
   std::vector<std::unique_ptr<CachePolicy>> node_policy;
   if (evolving) {
     node_policy.reserve(n);
     for (NodeId u = 0; u < n; ++u) {
-      node_policy.push_back(policies.make(policy_spec, net.cache_size));
+      node_policy.push_back(policies.make(policy_spec, node_capacity(u)));
       CachePolicy& policy = *node_policy.back();
       for (const FileId f : cache.files_of(u)) policy.seed(f);
       // A capacity below the placement's per-node footprint trims the
@@ -159,6 +175,12 @@ DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed) {
   std::uint64_t busy_servers = 0;
   std::uint64_t total_queued = 0;
 
+  if (tiered != nullptr) {
+    for (const TierLevel& level : tiered->tier_set().levels()) {
+      result.tier_queues.push_back({level.spec.role, 0, 0});
+    }
+  }
+
   // Admit `job` into `server`'s queue at time `now`; schedules the service
   // completion when the server was idle.
   const auto admit = [&](const Job& job, NodeId server, double now) {
@@ -170,6 +192,12 @@ DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed) {
     collector.record_arrival(now);
     fifo[server].push(job);
     ++result.admitted;
+    if (tiered != nullptr) {
+      auto& slice =
+          result.tier_queues[tiered->tier_set().locate(server).tier];
+      ++slice.admitted;
+      slice.max_queue = std::max(slice.max_queue, queues.length(server));
+    }
     total_hops += job.hops;
     if (queues.length(server) == 1) {
       schedule(now + exponential(rng, config.service_rate),
@@ -271,10 +299,58 @@ DynamicResult run_dynamic(const DynamicConfig& config, std::uint64_t seed) {
         if (hit) {
           if (evolving) node_policy[server]->on_access(job.file, event.time);
         } else {
-          Hop fetch = topology->diameter();  // origin fetch: worst case
-          for (const NodeId holder : cache.replicas(job.file)) {
-            fetch = std::min(fetch, topology->distance(server, holder));
+          Hop fetch = topology->diameter();  // no replica: worst case
+          bool from_origin = tiered != nullptr;
+          if (tiered == nullptr) {
+            for (const NodeId holder : cache.replicas(job.file)) {
+              fetch = std::min(fetch, topology->distance(server, holder));
+            }
+          } else {
+            // Walk *down* the hierarchy: the server's own cluster first
+            // (local peers are the cheap fetch), then each deeper tier,
+            // finally sideways to any live replica. The fetch is an origin
+            // fetch when the first scope holding the file is an origin
+            // tier — or when nothing holds it and the worst case stands.
+            const TierSet& set = tiered->tier_set();
+            const TierSet::Location loc = set.locate(server);
+            const auto holders = cache.replicas(job.file);
+            const auto nearest_between =
+                [&](NodeId lo, NodeId hi) -> Hop {
+              Hop best = kUnboundedRadius;
+              const auto first =
+                  std::lower_bound(holders.begin(), holders.end(), lo);
+              const auto last = std::lower_bound(first, holders.end(), hi);
+              for (auto it = first; it != last; ++it) {
+                best = std::min(best, topology->distance(server, *it));
+              }
+              return best;
+            };
+            const TierLevel& own = set.levels()[loc.tier];
+            const NodeId cluster_base =
+                own.base + loc.cluster * own.cluster_nodes;
+            Hop found =
+                nearest_between(cluster_base, cluster_base + own.cluster_nodes);
+            bool origin_scope = own.is_origin();
+            if (found == kUnboundedRadius) {
+              for (std::uint32_t t = loc.tier + 1; t < set.num_tiers(); ++t) {
+                const TierLevel& level = set.levels()[t];
+                found = nearest_between(level.base, level.base + level.nodes);
+                if (found != kUnboundedRadius) {
+                  origin_scope = level.is_origin();
+                  break;
+                }
+              }
+            }
+            if (found == kUnboundedRadius && !holders.empty()) {
+              found = nearest_between(0, static_cast<NodeId>(n));
+              origin_scope = false;  // sideways peer fetch, not an origin hit
+            }
+            if (found != kUnboundedRadius) {
+              fetch = found;
+              from_origin = origin_scope;
+            }
           }
+          if (from_origin) ++result.origin_fetches;
           response_delay +=
               2.0 * static_cast<double>(fetch) * config.hop_latency;
           if (evolving) insert_under_policy(server, job.file, event.time);

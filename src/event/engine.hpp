@@ -24,6 +24,7 @@
 /// loop (test_event_supermarket).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -70,7 +71,19 @@ struct DynamicResult {
   std::uint64_t evictions = 0;  ///< policy evictions (incl. startup trims)
   double hit_rate = 0.0;        ///< hits / (hits + misses); 1 under `static`
   double p99_sojourn = 0.0;     ///< p99 sojourn of post-warmup completions
+  /// Misses whose fetch fell through every cache tier to the origin (or,
+  /// with no origin tier and no live replica, paid the worst-case
+  /// diameter). Always 0 on flat topologies.
+  std::uint64_t origin_fetches = 0;
   std::vector<WindowMetrics> windows;  ///< per-window series over the horizon
+
+  /// Per-tier queueing slice (tiered runs only; empty flat).
+  struct TierQueueStats {
+    std::string role;
+    std::uint64_t admitted = 0;  ///< jobs queued at this tier's servers
+    Load max_queue = 0;          ///< peak queue length within the tier
+  };
+  std::vector<TierQueueStats> tier_queues;
 };
 
 /// Run the event-driven simulation. Deterministic in (config, seed).

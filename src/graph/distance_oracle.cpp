@@ -325,7 +325,46 @@ void DistanceOracle::update_budget_depth(Row& row) const {
 }
 
 void DistanceOracle::ensure_depth(Row& row, NodeId source, Hop d) const {
-  while (!row.complete && row.level_end.size() <= d) extend_row(row, source);
+  // The stored row never grows past the budget horizon: once the budget
+  // depth is known, deeper shell/ball queries stream from the frontier
+  // (stream_beyond) instead of materializing levels into the cache.
+  while (!row.complete && !row.budget_depth_known &&
+         row.level_end.size() <= d) {
+    extend_row(row, source);
+  }
+}
+
+void DistanceOracle::stream_beyond(
+    const Row& row, NodeId source, Hop target,
+    FunctionRef<void(Hop, const std::vector<NodeId>&)> fn) const {
+  if (row.complete) return;
+  bind_marks(row, source);
+  std::vector<NodeId> frontier = row.frontier;
+  std::vector<NodeId> next;
+  auto depth = static_cast<Hop>(row.level_end.size());
+  while (depth <= target) {
+    if (depth > kMaxStorableHops) throw_depth_overflow(source);
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const std::uint32_t v : graph_->neighbors(u)) {
+        if (mark_depth_[v] == kUnreached) {
+          mark_depth_[v] = static_cast<std::uint16_t>(depth);
+          mark_nodes_.push_back(v);
+          next.push_back(v);
+        }
+      }
+    }
+    if (next.empty()) break;
+    // Same increasing-id level order the stored rows and the dense scan
+    // expose; BFS level sets do not depend on intra-level order.
+    std::sort(next.begin(), next.end());
+    fn(depth, next);
+    frontier.swap(next);
+    ++depth;
+  }
+  // The marks now carry streamed levels the stored row does not own;
+  // force a clean rebind before the next marked query.
+  mark_owner_ = kInvalidNode;
 }
 
 void DistanceOracle::ensure_budget_depth(Row& row, NodeId source) const {
@@ -402,10 +441,17 @@ void DistanceOracle::visit_shell(NodeId u, Hop d, OracleNodeVisitor fn) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   Row& row = row_for(u);
   ensure_depth(row, u, d);
-  if (d >= row.level_end.size()) return;
-  const std::uint32_t begin = d == 0 ? 0 : row.level_end[d - 1];
-  const std::uint32_t end = row.level_end[d];
-  for (std::uint32_t i = begin; i < end; ++i) fn(row.nodes[i]);
+  if (d < row.level_end.size()) {
+    const std::uint32_t begin = d == 0 ? 0 : row.level_end[d - 1];
+    const std::uint32_t end = row.level_end[d];
+    for (std::uint32_t i = begin; i < end; ++i) fn(row.nodes[i]);
+    return;
+  }
+  stream_beyond(row, u, d, [&](Hop depth, const std::vector<NodeId>& level) {
+    if (depth == d) {
+      for (const NodeId v : level) fn(v);
+    }
+  });
 }
 
 std::size_t DistanceOracle::shell_size(NodeId u, Hop d) const {
@@ -423,9 +469,15 @@ std::size_t DistanceOracle::shell_size(NodeId u, Hop d) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   Row& row = row_for(u);
   ensure_depth(row, u, d);
-  if (d >= row.level_end.size()) return 0;
-  const std::uint32_t begin = d == 0 ? 0 : row.level_end[d - 1];
-  return row.level_end[d] - begin;
+  if (d < row.level_end.size()) {
+    const std::uint32_t begin = d == 0 ? 0 : row.level_end[d - 1];
+    return row.level_end[d] - begin;
+  }
+  std::size_t count = 0;
+  stream_beyond(row, u, d, [&](Hop depth, const std::vector<NodeId>& level) {
+    if (depth == d) count = level.size();
+  });
+  return count;
 }
 
 std::size_t DistanceOracle::ball_size(NodeId u, Hop r) const {
@@ -443,7 +495,20 @@ std::size_t DistanceOracle::ball_size(NodeId u, Hop r) const {
   Row& row = row_for(u);
   ensure_depth(row, u, r);
   const std::size_t top = std::min<std::size_t>(r, row.level_end.size() - 1);
-  return row.level_end[top];
+  std::size_t count = row.level_end[top];
+  if (r >= row.level_end.size()) {
+    stream_beyond(row, u, r,
+                  [&](Hop depth, const std::vector<NodeId>& level) {
+                    (void)depth;
+                    count += level.size();
+                  });
+  }
+  return count;
+}
+
+std::size_t DistanceOracle::cached_entries() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cached_entries_;
 }
 
 DistanceOracle::Stats DistanceOracle::stats() const {

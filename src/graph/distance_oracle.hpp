@@ -24,8 +24,11 @@
 /// answer never depends on what was queried before, on cache eviction, or
 /// on thread interleaving):
 ///
-///  * `visit_shell`, `shell_size`, `ball_size`: always exact (the row is
-///    extended to the queried depth).
+///  * `visit_shell`, `shell_size`, `ball_size`: always exact. The *stored*
+///    row never grows past the budget horizon; deeper levels are streamed
+///    on the fly from the truncated frontier through the shared mark
+///    scratch, so a diameter-deep ball walk costs BFS time but no resident
+///    row memory beyond the budget ball.
 ///  * `distance(u, v)`: exact iff `v` lies inside the *budget ball* B*(u) —
 ///    the BFS ball truncated before the first level whose predicted size
 ///    (current ball + the frontier's degree sum, capped at n) exceeds
@@ -132,6 +135,11 @@ class DistanceOracle {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Total node entries resident across all cached rows (sparse regime;
+  /// 0 in dense mode). Bounded by `rows × distance_ball_budget` — streamed
+  /// shell levels never count — which the memory-model tests assert.
+  [[nodiscard]] std::size_t cached_entries() const;
+
  private:
   /// One on-demand BFS ball. Levels are stored concatenated in `nodes`
   /// with `level_end[d]` marking the end of depth `d`; each level is
@@ -161,6 +169,13 @@ class DistanceOracle {
   void update_budget_depth(Row& row) const;
   void ensure_depth(Row& row, NodeId source, Hop d) const;
   void ensure_budget_depth(Row& row, NodeId source) const;
+  /// BFS levels past the stored horizon, streamed from `row.frontier`
+  /// through the mark scratch without growing the stored row: calls
+  /// `fn(depth, level)` for each level in (stored, target], each sorted by
+  /// node id. Invalidates the mark binding on return.
+  void stream_beyond(
+      const Row& row, NodeId source, Hop target,
+      FunctionRef<void(Hop, const std::vector<NodeId>&)> fn) const;
   void bind_marks(const Row& row, NodeId source) const;
   void evict_to_budget() const;
   void touch(NodeId u) const;

@@ -5,10 +5,42 @@
 #include <numeric>
 #include <sstream>
 
+#include "tier/tier_set.hpp"
+#include "tier/tiered_topology.hpp"
 #include "topology/shells.hpp"
 #include "util/contracts.hpp"
 
 namespace proxcache {
+
+namespace {
+
+/// Demand-disc anchor shared by the hotspot origin model and the
+/// flash-crowd pulse. Flat topologies keep the historical single disc
+/// around `central_node()` bit-exactly. On a tier hierarchy a single
+/// global disc would be wrong twice over — `central_node()` is one front
+/// cluster's center (the other edge PoPs would see no hotspot), and a
+/// composed-metric ball leaks through the gateway into back-end/origin
+/// nodes, which never originate requests — so the disc is anchored *per
+/// front-end cluster*: the inner ball around each cluster's own center,
+/// mapped to global ids.
+std::vector<NodeId> anchor_disc(const Topology& topology, Hop radius) {
+  const TieredTopology* tiered = topology.as_tiered();
+  if (tiered == nullptr) {
+    return collect_ball(topology, topology.central_node(), radius);
+  }
+  const TierLevel& front = tiered->tier_set().levels().front();
+  const std::vector<NodeId> inner =
+      collect_ball(*front.inner, front.inner->central_node(), radius);
+  std::vector<NodeId> disc;
+  disc.reserve(static_cast<std::size_t>(inner.size()) * front.clusters);
+  for (std::uint32_t k = 0; k < front.clusters; ++k) {
+    const NodeId cluster_base = front.base + k * front.cluster_nodes;
+    for (const NodeId v : inner) disc.push_back(cluster_base + v);
+  }
+  return disc;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // OriginModel
@@ -19,14 +51,13 @@ OriginModel::OriginModel(std::size_t num_nodes) : num_nodes_(num_nodes) {
 }
 
 OriginModel::OriginModel(const Topology& topology, const OriginSpec& spec)
-    : num_nodes_(topology.size()) {
+    : num_nodes_(topology.origin_universe()) {
   if (spec.kind == OriginKind::Uniform) return;
   PROXCACHE_REQUIRE(
       spec.hotspot_fraction >= 0.0 && spec.hotspot_fraction <= 1.0,
       "hotspot fraction must be in [0, 1]");
   fraction_ = spec.hotspot_fraction;
-  disc_ = collect_ball(topology, topology.central_node(),
-                       spec.hotspot_radius);
+  disc_ = anchor_disc(topology, spec.hotspot_radius);
 }
 
 NodeId OriginModel::sample(Rng& rng) const {
@@ -71,13 +102,12 @@ FlashCrowdTraceSource::FlashCrowdTraceSource(const Topology& topology,
                                              const Popularity& popularity,
                                              const TraceSpec& spec,
                                              std::size_t horizon)
-    : num_nodes_(topology.size()),
+    : num_nodes_(topology.origin_universe()),
       files_(popularity.pmf()),
       spec_(spec),
       horizon_(horizon) {
   PROXCACHE_REQUIRE(horizon >= 1, "need >= 1 request");
-  disc_ = collect_ball(topology, topology.central_node(),
-                       spec.flash_radius);
+  disc_ = anchor_disc(topology, spec.flash_radius);
 }
 
 double FlashCrowdTraceSource::pulse_fraction(std::size_t t) const {

@@ -9,6 +9,9 @@
 #include "core/two_choice.hpp"
 #include "strategy/least_loaded.hpp"
 #include "strategy/prox_weighted.hpp"
+#include "tier/strategies.hpp"
+#include "tier/tiered_topology.hpp"
+#include "util/contracts.hpp"
 
 namespace proxcache {
 
@@ -230,6 +233,59 @@ const StrategyRegistry& StrategyRegistry::built_ins() {
              options.alpha = spec.get_or("alpha", 1.0);
              return std::make_unique<ProxWeightedStrategy>(index, options);
            }});
+    r.add({"cross-two-choice",
+           "DistCache cross-layer: hash to one replica per cache tier, "
+           "least-loaded wins; origin only on a full miss",
+           {stale_rule()},
+           [](const StrategySpec&, const ReplicaIndex& index,
+              const Topology& topology,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             const TieredTopology* tiered = topology.as_tiered();
+             PROXCACHE_REQUIRE(tiered != nullptr,
+                               "strategy 'cross-two-choice' needs a tiered "
+                               "topology (set a tier_spec)");
+             return std::make_unique<CrossTwoChoiceStrategy>(
+                 *tiered, index.placement());
+           },
+           /*requires_tiers=*/true});
+    r.add({"front-first",
+           "CDN baseline: miss in the own front cluster cascades tier by "
+           "tier toward the origin (load-oblivious)",
+           {stale_rule()},
+           [](const StrategySpec&, const ReplicaIndex& index,
+              const Topology& topology,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             const TieredTopology* tiered = topology.as_tiered();
+             PROXCACHE_REQUIRE(tiered != nullptr,
+                               "strategy 'front-first' needs a tiered "
+                               "topology (set a tier_spec)");
+             return std::make_unique<FrontFirstStrategy>(*tiered,
+                                                         index.placement());
+           },
+           /*requires_tiers=*/true});
+    r.add({"cross-prox-weighted",
+           "one uniform replica draw per cache tier, keep d by weight "
+           "(1+dist)^-alpha, least-loaded wins",
+           {{"d", 1.0, 8.0, 2.0, "candidates kept across tiers",
+             /*integral=*/true},
+            {"alpha", 0.0, 64.0, 1.0,
+             "distance-decay exponent (0 = uniform across tiers)"},
+            stale_rule()},
+           [](const StrategySpec& spec, const ReplicaIndex& index,
+              const Topology& topology,
+              const ExperimentConfig&) -> std::unique_ptr<Strategy> {
+             const TieredTopology* tiered = topology.as_tiered();
+             PROXCACHE_REQUIRE(tiered != nullptr,
+                               "strategy 'cross-prox-weighted' needs a "
+                               "tiered topology (set a tier_spec)");
+             CrossProxWeightedOptions options;
+             options.num_choices =
+                 static_cast<std::uint32_t>(spec.get_or("d", 2.0));
+             options.alpha = spec.get_or("alpha", 1.0);
+             return std::make_unique<CrossProxWeightedStrategy>(
+                 *tiered, index.placement(), options);
+           },
+           /*requires_tiers=*/true});
     return r;
   }();
   return registry;

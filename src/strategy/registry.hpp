@@ -55,6 +55,11 @@ struct StrategyEntry {
   std::string summary;  ///< one-line description for --list output
   std::vector<StrategyParamRule> params;
   StrategyFactory factory;
+  /// Cross-tier strategies (tier/strategies.hpp) read the hierarchy through
+  /// `Topology::as_tiered()` and refuse flat topologies; declaring it here
+  /// lets `ExperimentConfig::validate` reject the mismatch before a run
+  /// starts instead of deep inside the factory.
+  bool requires_tiers = false;
 };
 
 /// Catalog of strategy entries. `built_ins()` is the immutable default set

@@ -1,0 +1,50 @@
+#include "tier/materialize.hpp"
+
+#include <vector>
+
+#include "random/rng.hpp"
+#include "random/seeding.hpp"
+#include "tier/tier_set.hpp"
+#include "tier/tiered_topology.hpp"
+#include "topology/registry.hpp"
+
+namespace proxcache {
+
+std::shared_ptr<const Topology> materialize_topology(
+    const ExperimentConfig& config) {
+  if (config.tiered()) {
+    return std::make_shared<TieredTopology>(TierSet::build(
+        config.tier_spec, static_cast<std::uint32_t>(config.cache_size)));
+  }
+  return TopologyRegistry::global().make(config.resolved_topology());
+}
+
+Placement materialize_placement(const ExperimentConfig& config,
+                                const Topology& topology,
+                                const Popularity& popularity,
+                                std::uint64_t run_index) {
+  const TieredTopology* tiered = topology.as_tiered();
+  if (tiered == nullptr) {
+    Rng rng(derive_seed(config.seed, {run_index, seed_phase::kPlacement}));
+    return Placement::generate(topology.size(), popularity, config.cache_size,
+                               config.placement_mode, rng);
+  }
+  const TierSet& set = tiered->tier_set();
+  std::vector<Placement> parts;
+  parts.reserve(set.num_tiers());
+  for (std::uint32_t t = 0; t < set.num_tiers(); ++t) {
+    const TierLevel& level = set.levels()[t];
+    if (level.is_origin()) {
+      parts.push_back(Placement::full(level.nodes, config.num_files,
+                                      config.placement_mode));
+      continue;
+    }
+    Rng rng(derive_seed(config.seed, {run_index, seed_phase::kPlacement, t}));
+    parts.push_back(Placement::generate(level.nodes, popularity,
+                                        level.cache_size,
+                                        config.placement_mode, rng));
+  }
+  return Placement::compose(parts);
+}
+
+}  // namespace proxcache

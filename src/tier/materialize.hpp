@@ -1,0 +1,45 @@
+#pragma once
+/// \file materialize.hpp
+/// The one seam where a config becomes a concrete network: flat configs
+/// keep the historical registry path bit-exactly, tiered configs build a
+/// TierSet and compose per-tier placements. Both engines (the batch
+/// simulator's SimulationContext/RunHarness and the dynamic event engine)
+/// materialize through these two functions so the flat/tiered split can
+/// never drift between them.
+///
+/// Placement seed contract: the flat path draws from
+/// `derive_seed(seed, {run, kPlacement})` exactly as it always has; the
+/// tiered path extends the path with the tier ordinal —
+/// `derive_seed(seed, {run, kPlacement, t})` — so every tier samples an
+/// independent stream and adding a tier never perturbs another tier's
+/// content. Origin tiers take no draws at all: they replicate the full
+/// library (`Placement::full`).
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/placement.hpp"
+#include "catalog/popularity.hpp"
+#include "core/config.hpp"
+#include "topology/topology.hpp"
+
+namespace proxcache {
+
+/// Build the topology `config` describes: a registry topology for flat
+/// configs (including degenerate single-tier specs, which resolve to their
+/// inner topology), a TieredTopology over a freshly built TierSet when
+/// `config.tiered()`.
+[[nodiscard]] std::shared_ptr<const Topology> materialize_topology(
+    const ExperimentConfig& config);
+
+/// Sample replication `run_index`'s placement for `topology`. Flat: the
+/// historical single `Placement::generate` call. Tiered: one generate per
+/// cache tier on its own seed stream (capacity = the tier's resolved cache
+/// size), `Placement::full` for the origin tier, composed over the global
+/// id space.
+[[nodiscard]] Placement materialize_placement(const ExperimentConfig& config,
+                                              const Topology& topology,
+                                              const Popularity& popularity,
+                                              std::uint64_t run_index);
+
+}  // namespace proxcache

@@ -1,0 +1,56 @@
+#pragma once
+/// \file registry.hpp
+/// Named tier-hierarchy presets: a catalog of ready-made `TierSpec`s so
+/// runners can say `--tiers cdn` instead of spelling the full grammar, and
+/// so `--list` has a tier catalog to print next to the scenario, strategy,
+/// topology and cache-policy catalogs. `resolve` accepts either a preset
+/// name or a raw tier-spec string, so every CLI surface takes both.
+
+#include <string>
+#include <vector>
+
+#include "tier/spec.hpp"
+
+namespace proxcache {
+
+/// One named hierarchy preset.
+struct TierPreset {
+  std::string name;     ///< registry key, e.g. "cdn"
+  std::string summary;  ///< one-line description for --list output
+  TierSpec spec;
+};
+
+/// Immutable collection of named tier presets.
+class TierRegistry {
+ public:
+  /// The built-in presets (constructed once, parse-validated).
+  static const TierRegistry& built_ins();
+
+  /// All presets in registration order.
+  [[nodiscard]] const std::vector<TierPreset>& all() const {
+    return presets_;
+  }
+
+  /// Preset by name, or nullptr when absent.
+  [[nodiscard]] const TierPreset* find(const std::string& name) const;
+
+  /// Preset by name; throws std::invalid_argument listing the known names
+  /// when absent.
+  [[nodiscard]] const TierPreset& at(const std::string& name) const;
+
+  /// Comma-separated names (for error messages and --help).
+  [[nodiscard]] std::string names() const;
+
+  /// `text` as a TierSpec: a preset name resolves to its spec, anything
+  /// else must parse under the tier grammar (tier/spec.hpp). Throws
+  /// std::invalid_argument with both vocabularies in the message when
+  /// neither applies.
+  [[nodiscard]] TierSpec resolve(const std::string& text) const;
+
+ private:
+  TierRegistry();
+
+  std::vector<TierPreset> presets_;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,291 @@
+#include "tier/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace proxcache {
+
+namespace {
+
+constexpr std::uint32_t kMaxClusters = 65536;
+constexpr std::uint32_t kMaxCacheOverride = std::uint32_t{1} << 20;
+constexpr Hop kMaxLink = 1024;
+
+[[noreturn]] void fail(std::string_view text, const std::string& detail) {
+  throw std::invalid_argument("bad tier spec '" + std::string(text) +
+                              "': " + detail);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t parse_count(std::string_view text, std::string_view token,
+                          const std::string& what) {
+  if (!all_digits(token)) {
+    fail(text, what + " must be a positive integer, got '" +
+                   std::string(token) + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > std::uint64_t{1} << 40) {
+      fail(text, what + " '" + std::string(token) + "' is out of range");
+    }
+  }
+  return value;
+}
+
+/// Split `body` at commas outside any parentheses.
+std::vector<std::string_view> split_items(std::string_view text,
+                                          std::string_view body) {
+  std::vector<std::string_view> items;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) fail(text, "unbalanced ')'");
+    }
+    if (c == ',' && depth == 0) {
+      items.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) fail(text, "unbalanced '('");
+  items.push_back(body.substr(start));
+  return items;
+}
+
+/// Position of the last top-level cluster multiplier `x<digits>` suffix in
+/// `value`, or npos when there is none.
+std::size_t multiplier_pos(std::string_view value) {
+  int depth = 0;
+  std::size_t pos = std::string_view::npos;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0 && (c == 'x' || c == 'X') && i > 0) pos = i;
+  }
+  if (pos == std::string_view::npos) return pos;
+  const std::string_view suffix = trim(value.substr(pos + 1));
+  return all_digits(suffix) ? pos : std::string_view::npos;
+}
+
+TopologySpec clique_of(std::uint64_t n) {
+  TopologySpec spec;
+  spec.name = "clique";
+  spec.params["n"] = static_cast<double>(n);
+  return spec;
+}
+
+TierLevelSpec parse_level(std::string_view text, const std::string& role,
+                          std::string_view value) {
+  TierLevelSpec level;
+  level.role = role;
+  value = trim(value);
+  if (value.empty()) fail(text, "tier '" + role + "' has an empty value");
+
+  const std::size_t xpos = multiplier_pos(value);
+  std::string_view inner = value;
+  if (xpos != std::string_view::npos) {
+    const std::uint64_t clusters =
+        parse_count(text, trim(value.substr(xpos + 1)),
+                    "cluster multiplier of tier '" + role + "'");
+    if (clusters == 0 || clusters > kMaxClusters) {
+      fail(text, "tier '" + role + "' cluster multiplier " +
+                     std::to_string(clusters) + " is outside [1, " +
+                     std::to_string(kMaxClusters) + "]");
+    }
+    level.clusters = static_cast<std::uint32_t>(clusters);
+    inner = trim(value.substr(0, xpos));
+    if (inner.empty()) {
+      fail(text, "tier '" + role + "' has a cluster multiplier but no "
+                 "inner topology");
+    }
+  }
+  if (all_digits(inner)) {
+    // Bare-count sugar: an interchangeable pool of that many servers.
+    const std::uint64_t n =
+        parse_count(text, inner, "node count of tier '" + role + "'");
+    if (n == 0) fail(text, "tier '" + role + "' needs at least one node");
+    level.topology = clique_of(n);
+  } else {
+    level.topology = parse_topology_spec(inner);
+  }
+  return level;
+}
+
+}  // namespace
+
+int tier_role_rank(std::string_view role) {
+  if (role == "front") return 0;
+  if (role == "mid") return 1;
+  if (role == "back") return 2;
+  if (role == "origin") return 3;
+  return -1;
+}
+
+bool TierSpec::degenerate() const {
+  return levels.size() == 1 && levels.front().clusters == 1 &&
+         levels.front().cache_size == 0 && levels.front().role != "origin";
+}
+
+std::string TierSpec::to_string() const {
+  std::ostringstream os;
+  os << "tiers(";
+  bool first = true;
+  for (const TierLevelSpec& level : levels) {
+    if (!first) os << ", ";
+    first = false;
+    os << level.role << '=';
+    const TopologySpec& inner = level.topology;
+    if (inner.name == "clique" && inner.params.size() == 1 &&
+        inner.has("n")) {
+      os << static_cast<std::uint64_t>(inner.get_or("n", 1.0));
+    } else {
+      os << inner.to_string();
+    }
+    if (level.clusters != 1) os << 'x' << level.clusters;
+  }
+  if (link != 1) os << ", link=" << link;
+  for (const TierLevelSpec& level : levels) {
+    if (level.cache_size != 0) {
+      os << ", " << level.role << "_cache=" << level.cache_size;
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+TierSpec parse_tier_spec(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  const std::size_t open = trimmed.find('(');
+  if (open == std::string_view::npos || trimmed.back() != ')') {
+    fail(text, "expected the form tiers(front=..., back=..., origin=...)");
+  }
+  if (lower(trim(trimmed.substr(0, open))) != "tiers") {
+    fail(text, "expected the spec name 'tiers', got '" +
+                   std::string(trim(trimmed.substr(0, open))) + "'");
+  }
+  const std::string_view body =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+
+  TierSpec spec;
+  bool link_seen = false;
+  std::vector<std::pair<std::string, std::uint32_t>> cache_overrides;
+  for (const std::string_view raw_item : split_items(text, body)) {
+    const std::string_view item = trim(raw_item);
+    if (item.empty()) fail(text, "empty item (stray comma?)");
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      fail(text, "item '" + std::string(item) + "' is not key=value");
+    }
+    const std::string key = lower(trim(item.substr(0, eq)));
+    const std::string_view value = trim(item.substr(eq + 1));
+    if (key.empty()) {
+      fail(text, "item '" + std::string(item) + "' has an empty key");
+    }
+
+    if (key == "link") {
+      if (link_seen) fail(text, "duplicate 'link'");
+      link_seen = true;
+      const std::uint64_t hops = parse_count(text, value, "'link'");
+      if (hops > kMaxLink) {
+        fail(text, "'link' = " + std::to_string(hops) + " is outside [0, " +
+                       std::to_string(kMaxLink) + "]");
+      }
+      spec.link = static_cast<Hop>(hops);
+      continue;
+    }
+
+    if (key.size() > 6 && key.ends_with("_cache")) {
+      const std::string role = key.substr(0, key.size() - 6);
+      if (tier_role_rank(role) < 0) {
+        fail(text, "unknown cache-override key '" + key + "'");
+      }
+      if (role == "origin") {
+        fail(text, "the origin tier replicates the full catalog and takes "
+                   "no cache override");
+      }
+      const std::uint64_t cache = parse_count(text, value, "'" + key + "'");
+      if (cache == 0 || cache > kMaxCacheOverride) {
+        fail(text, "'" + key + "' = " + std::to_string(cache) +
+                       " is outside [1, " + std::to_string(kMaxCacheOverride) +
+                       "]");
+      }
+      cache_overrides.emplace_back(role,
+                                   static_cast<std::uint32_t>(cache));
+      continue;
+    }
+
+    const int rank = tier_role_rank(key);
+    if (rank < 0) {
+      fail(text, "unknown key '" + key +
+                     "' (roles: front, mid, back, origin; extras: link, "
+                     "<role>_cache)");
+    }
+    if (!spec.levels.empty() &&
+        tier_role_rank(spec.levels.back().role) >= rank) {
+      fail(text, "tier roles must appear once each, in front < mid < back "
+                 "< origin order ('" +
+                     key + "' after '" + spec.levels.back().role + "')");
+    }
+    spec.levels.push_back(parse_level(text, key, value));
+  }
+
+  if (spec.levels.empty()) {
+    fail(text, "at least one tier role is required");
+  }
+  if (spec.levels.back().clusters != 1) {
+    fail(text, "the deepest tier ('" + spec.levels.back().role +
+                   "') must be a single cluster — it is where all routes "
+                   "meet; add a deeper tier or drop its multiplier");
+  }
+  for (const auto& [role, cache] : cache_overrides) {
+    bool found = false;
+    for (TierLevelSpec& level : spec.levels) {
+      if (level.role == role) {
+        level.cache_size = cache;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      fail(text, "cache override '" + role + "_cache' names a tier that "
+                 "is not in the spec");
+    }
+  }
+  return spec;
+}
+
+}  // namespace proxcache

@@ -1,0 +1,82 @@
+#pragma once
+/// \file spec.hpp
+/// Typed description of a cache-tier hierarchy: an ordered list of tier
+/// levels, each an inner topology replicated over some number of clusters,
+/// joined by fixed-cost uplinks. The grammar is the registries' kvspec
+/// family extended with nested topology specs and a cluster multiplier:
+///
+///     tiers(front=torus(side=32)x16, back=ring(n=4096), origin=1)
+///     tiers(front=torus(side=8)x8, back=ring(n=64), origin=1,
+///           link=2, back_cache=4)
+///
+/// Roles come in hierarchy order — `front`, `mid`, `back`, `origin` — and
+/// each takes an inner topology spec, optionally multiplied into `xC`
+/// clusters; a bare integer is sugar for `clique(n=...)` (an
+/// interchangeable pool, the usual shape of an origin). `link` is the hop
+/// cost of every inter-tier uplink; `<role>_cache` overrides the config's
+/// per-node cache size for one tier. The `origin` tier replicates the full
+/// catalog (so it takes no `_cache` override), and the deepest tier must
+/// be a single cluster — it is where all routes meet.
+///
+/// A spec of one front tier, one cluster, and no overrides is *degenerate*:
+/// it names exactly the flat network of its inner topology, and configs
+/// resolve it to the flat engine path bit-identically (core/config.hpp).
+///
+/// Standalone like the sibling spec files: no dependency on the registries
+/// or the simulator.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/spec.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// One tier level: `clusters` disjoint copies of `topology`, every cluster
+/// uplinked to the next-deeper tier through its inner central node.
+struct TierLevelSpec {
+  std::string role;       ///< "front" | "mid" | "back" | "origin"
+  TopologySpec topology;  ///< inner per-cluster topology
+  std::uint32_t clusters = 1;
+  std::uint32_t cache_size = 0;  ///< per-node override; 0 = config default
+
+  friend bool operator==(const TierLevelSpec&, const TierLevelSpec&) =
+      default;
+};
+
+/// An ordered tier hierarchy, front (shallowest) first.
+struct TierSpec {
+  std::vector<TierLevelSpec> levels;
+  Hop link = 1;  ///< hop cost of each inter-tier uplink
+
+  /// True when no hierarchy is configured (the flat engine path).
+  [[nodiscard]] bool empty() const { return levels.empty(); }
+
+  /// True when this spec names a flat network: a single non-origin tier of
+  /// one cluster with no cache override. Such specs resolve to their inner
+  /// topology and never build the tier machinery.
+  [[nodiscard]] bool degenerate() const;
+
+  /// Canonical spec string (role order, cluster multipliers, then `link`
+  /// when non-default and the `_cache` overrides). Bare-integer sugar is
+  /// preserved: a single-parameter clique prints as its node count.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TierSpec&, const TierSpec&) = default;
+};
+
+/// Hierarchy rank of a role name: front=0, mid=1, back=2, origin=3;
+/// -1 when `role` is not a tier role.
+[[nodiscard]] int tier_role_rank(std::string_view role);
+
+/// Parse a tier spec string (`tiers(...)` form). Tolerates whitespace and
+/// letter case like the sibling grammars; throws std::invalid_argument as
+/// `bad tier spec '<text>': <detail>` on malformed input, out-of-order or
+/// duplicate roles, a multi-cluster deepest tier, or a cache override for
+/// an absent role or the origin.
+[[nodiscard]] TierSpec parse_tier_spec(std::string_view text);
+
+}  // namespace proxcache

@@ -1,0 +1,81 @@
+#include "tier/tier_set.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topology/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+std::shared_ptr<const TierSet> TierSet::build(
+    const TierSpec& spec, std::uint32_t default_cache_size) {
+  PROXCACHE_REQUIRE(!spec.empty(), "cannot build a TierSet from an empty "
+                                   "tier spec");
+  auto set = std::shared_ptr<TierSet>(new TierSet());
+  set->spec_ = spec;
+  const TopologyRegistry& registry = TopologyRegistry::global();
+  std::size_t base = 0;
+  for (const TierLevelSpec& level_spec : spec.levels) {
+    TierLevel level;
+    level.spec = level_spec;
+    level.inner = registry.make(level_spec.topology);
+    level.clusters = level_spec.clusters;
+    level.cluster_nodes = static_cast<std::uint32_t>(level.inner->size());
+    level.base = static_cast<NodeId>(base);
+    level.nodes = level.clusters * level.cluster_nodes;
+    level.cache_size = level.is_origin()
+                           ? 0
+                           : (level_spec.cache_size != 0
+                                  ? level_spec.cache_size
+                                  : default_cache_size);
+    level.gateway = level.inner->central_node();
+    base += level.nodes;
+    if (base > static_cast<std::size_t>(kInvalidNode)) {
+      throw std::invalid_argument(
+          "tier spec " + spec.to_string() + " composes " +
+          std::to_string(base) + " nodes, overflowing the node id space");
+    }
+    set->levels_.push_back(std::move(level));
+  }
+  set->total_nodes_ = base;
+  return set;
+}
+
+TierSet::Location TierSet::locate(NodeId u) const {
+  PROXCACHE_REQUIRE(u < total_nodes_, "node id out of range");
+  std::uint32_t tier = 0;
+  while (tier + 1 < levels_.size() && u >= levels_[tier + 1].base) ++tier;
+  const TierLevel& level = levels_[tier];
+  const NodeId offset = u - level.base;
+  return Location{tier, offset / level.cluster_nodes,
+                  offset % level.cluster_nodes};
+}
+
+NodeId TierSet::global_id(std::uint32_t tier, std::uint32_t cluster,
+                          NodeId local) const {
+  const TierLevel& level = levels_[tier];
+  PROXCACHE_REQUIRE(cluster < level.clusters && local < level.cluster_nodes,
+                    "tier-local coordinates out of range");
+  return level.base + cluster * level.cluster_nodes + local;
+}
+
+NodeId TierSet::attach(std::uint32_t t, std::uint32_t k) const {
+  PROXCACHE_REQUIRE(t + 1 < levels_.size(),
+                    "the deepest tier has no uplink");
+  const TierLevel& next = levels_[t + 1];
+  const std::uint32_t cluster = k % next.clusters;
+  // Sibling clusters landing in the same host cluster spread their attach
+  // points evenly over its nodes (PoPs distributed along the backbone)
+  // rather than packing consecutively — packing would funnel every
+  // cross-cluster route through one corner of the host topology.
+  const std::uint32_t rank = k / next.clusters;
+  const std::uint32_t siblings =
+      (levels_[t].clusters + next.clusters - 1) / next.clusters;
+  const std::uint32_t stride = std::max(1u, next.cluster_nodes / siblings);
+  const NodeId local = static_cast<NodeId>(
+      (static_cast<std::uint64_t>(rank) * stride) % next.cluster_nodes);
+  return global_id(t + 1, cluster, local);
+}
+
+}  // namespace proxcache

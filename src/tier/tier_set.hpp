@@ -1,0 +1,93 @@
+#pragma once
+/// \file tier_set.hpp
+/// The materialized tier hierarchy behind a `TierSpec`: one shared inner
+/// `Topology` per level (every cluster of a level is an identical copy),
+/// laid out in one dense global node-id space — tier 0 (the front) starts
+/// at id 0, each deeper tier follows, and within a tier cluster `k`
+/// occupies the contiguous block `[base + k*m, base + (k+1)*m)`.
+///
+/// Keeping the id space dense and front-first is load-bearing: the
+/// workload generators draw request origins from the prefix
+/// `[0, front nodes)` (Topology::origin_universe), per-tier placements
+/// concatenate into one global `Placement` by offsetting, and the metrics
+/// layer slices one global load vector by `[base, base + nodes)` — so the
+/// engines (serial, sharded, dynamic) stay tier-oblivious.
+///
+/// Every cluster uplinks to the next-deeper tier through its *gateway*
+/// (the cluster's inner central node); the uplink lands on a
+/// deterministic attach node: siblings round-robin over the deeper
+/// tier's clusters, and within a host cluster their attach points spread
+/// evenly over its nodes. Each uplink costs `link()` hops.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tier/spec.hpp"
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// One materialized tier level.
+struct TierLevel {
+  TierLevelSpec spec;
+  std::shared_ptr<const Topology> inner;  ///< shared by all clusters
+  std::uint32_t clusters = 1;
+  std::uint32_t cluster_nodes = 0;  ///< inner->size()
+  NodeId base = 0;                  ///< first global node id of this tier
+  std::uint32_t nodes = 0;          ///< clusters * cluster_nodes
+  /// Per-node cache capacity: the spec override, else the config default.
+  /// 0 on an origin tier — origin nodes replicate the full catalog.
+  std::uint32_t cache_size = 0;
+  NodeId gateway = 0;  ///< inner-local id of each cluster's uplink node
+
+  [[nodiscard]] bool is_origin() const { return spec.role == "origin"; }
+};
+
+/// Immutable materialized hierarchy; safe to share across runs/threads.
+class TierSet {
+ public:
+  /// Where a global node id lives.
+  struct Location {
+    std::uint32_t tier;
+    std::uint32_t cluster;
+    NodeId local;
+  };
+
+  /// Materialize `spec` (inner topologies via TopologyRegistry::global()),
+  /// resolving per-tier cache capacities against `default_cache_size`.
+  /// Throws std::invalid_argument on unregistered/invalid inner specs or a
+  /// composed node count overflowing the id space.
+  [[nodiscard]] static std::shared_ptr<const TierSet> build(
+      const TierSpec& spec, std::uint32_t default_cache_size);
+
+  [[nodiscard]] const TierSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<TierLevel>& levels() const {
+    return levels_;
+  }
+  [[nodiscard]] std::size_t num_tiers() const { return levels_.size(); }
+  [[nodiscard]] std::size_t size() const { return total_nodes_; }
+  [[nodiscard]] Hop link() const { return spec_.link; }
+  [[nodiscard]] bool has_origin() const {
+    return levels_.back().is_origin();
+  }
+
+  [[nodiscard]] Location locate(NodeId u) const;
+  [[nodiscard]] NodeId global_id(std::uint32_t tier, std::uint32_t cluster,
+                                 NodeId local) const;
+
+  /// Global id of the node in tier `t + 1` that cluster `k` of tier `t`
+  /// uplinks to (round-robin over the deeper tier's clusters; attach
+  /// points spread evenly over the host cluster's nodes).
+  [[nodiscard]] NodeId attach(std::uint32_t t, std::uint32_t k) const;
+
+ private:
+  TierSet() = default;
+
+  TierSpec spec_;
+  std::vector<TierLevel> levels_;
+  std::size_t total_nodes_ = 0;
+};
+
+}  // namespace proxcache

@@ -1,0 +1,119 @@
+#include "tier/tiered_topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+TieredTopology::TieredTopology(std::shared_ptr<const TierSet> set)
+    : set_(std::move(set)) {
+  PROXCACHE_REQUIRE(set_ != nullptr, "TieredTopology needs a TierSet");
+  // Certified upper bound: no pair costs more than lifting both endpoints
+  // all the way to the deepest tier (inner eccentricities bounded by inner
+  // diameters) plus one deepest-tier traversal; same-cluster pairs are
+  // covered by the per-tier diameters.
+  const auto& levels = set_->levels();
+  std::uint64_t cross = 0;
+  std::uint64_t bound = 0;
+  for (std::size_t t = 0; t < levels.size(); ++t) {
+    const auto inner_diameter =
+        static_cast<std::uint64_t>(levels[t].inner->diameter());
+    bound = std::max(bound, inner_diameter);
+    if (t + 1 < levels.size()) {
+      cross += 2 * (inner_diameter + set_->link());
+    } else {
+      cross += inner_diameter;
+    }
+  }
+  bound = std::max(bound, cross);
+  PROXCACHE_REQUIRE(bound <= static_cast<std::uint64_t>(kUnboundedRadius),
+                    "tier composition diameter overflows the hop range");
+  diameter_bound_ = static_cast<Hop>(bound);
+}
+
+std::size_t TieredTopology::size() const { return set_->size(); }
+
+void TieredTopology::lift(TierSet::Location& loc,
+                          std::uint64_t& cost) const {
+  const TierLevel& level = set_->levels()[loc.tier];
+  cost += level.inner->distance(loc.local, level.gateway) + set_->link();
+  loc = set_->locate(set_->attach(loc.tier, loc.cluster));
+}
+
+Hop TieredTopology::distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  TierSet::Location a = set_->locate(u);
+  TierSet::Location b = set_->locate(v);
+  std::uint64_t cost = 0;
+  // Lift the shallower endpoint (both, alternately, when level-tied) until
+  // the routes meet in one cluster; the deepest tier is a single cluster,
+  // so the loop always terminates.
+  while (a.tier != b.tier || a.cluster != b.cluster) {
+    if (a.tier <= b.tier) {
+      lift(a, cost);
+    } else {
+      lift(b, cost);
+    }
+  }
+  cost += set_->levels()[a.tier].inner->distance(a.local, b.local);
+  return static_cast<Hop>(cost);
+}
+
+std::vector<NodeId> TieredTopology::neighbors(NodeId u) const {
+  const TierSet::Location loc = set_->locate(u);
+  const TierLevel& level = set_->levels()[loc.tier];
+  std::vector<NodeId> out;
+  const NodeId cluster_base =
+      level.base + loc.cluster * level.cluster_nodes;
+  for (const NodeId local : level.inner->neighbors(loc.local)) {
+    out.push_back(cluster_base + local);
+  }
+  // Uplink out of this cluster's gateway.
+  if (loc.local == level.gateway && loc.tier + 1 < set_->num_tiers()) {
+    out.push_back(set_->attach(loc.tier, loc.cluster));
+  }
+  // Downlinks from shallower clusters attaching here: scan the sibling
+  // clusters that land in this cluster (k ≡ cluster mod level.clusters)
+  // and keep those whose spread attach point is exactly this node.
+  if (loc.tier > 0) {
+    const std::uint32_t t = loc.tier - 1;
+    const TierLevel& above = set_->levels()[t];
+    for (std::uint64_t k = loc.cluster; k < above.clusters;
+         k += level.clusters) {
+      const auto cluster = static_cast<std::uint32_t>(k);
+      if (set_->attach(t, cluster) == u) {
+        out.push_back(set_->global_id(t, cluster, above.gateway));
+      }
+    }
+  }
+  return out;
+}
+
+NodeId TieredTopology::central_node() const {
+  // Anchor demand at the front tier: the first front cluster's inner
+  // center. (Per-cluster anchoring for hotspot/flash discs lives in the
+  // workload generators; this is the single-anchor default.)
+  const TierLevel& front = set_->levels().front();
+  return set_->global_id(0, 0, front.inner->central_node());
+}
+
+std::size_t TieredTopology::origin_universe() const {
+  return set_->levels().front().nodes;
+}
+
+std::string TieredTopology::describe() const {
+  return set_->spec().to_string();
+}
+
+std::string TieredTopology::node_label(NodeId u) const {
+  const TierSet::Location loc = set_->locate(u);
+  const TierLevel& level = set_->levels()[loc.tier];
+  std::ostringstream os;
+  os << level.spec.role << '#' << loc.cluster << ':'
+     << level.inner->node_label(loc.local);
+  return os.str();
+}
+
+}  // namespace proxcache

@@ -1,0 +1,59 @@
+#pragma once
+/// \file tiered_topology.hpp
+/// The tier composition as one `Topology`: the disjoint union of every
+/// cluster of every tier, joined by gateway-to-attach uplink edges
+/// (tier/tier_set.hpp). Distances are true shortest paths of that
+/// composed graph — within a cluster the inner metric applies unchanged
+/// (inner metrics satisfy the triangle inequality, so detouring through a
+/// deeper tier never wins), and across clusters the route lifts each
+/// endpoint through its gateway (`link()` hops per uplink) until both
+/// sides land in a common cluster. `diameter()` is a certified upper
+/// bound (lift both sides the whole way down), which every consumer of
+/// the contract tolerates — fallback radii, worst-case fetch costs, and
+/// shell loops only need "no distance exceeds it".
+///
+/// The hop metric is what makes the cost model tier-aware for free:
+/// strategy `hops` and with them `comm_cost` charge inter-tier uplinks
+/// automatically, flat strategies run on the composition unmodified (that
+/// is the "single-tier nearest" baseline), and cross-tier strategies
+/// reach the structure through `Topology::as_tiered()`.
+
+#include <memory>
+#include <string>
+
+#include "tier/tier_set.hpp"
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Composed hierarchy topology over a shared TierSet.
+class TieredTopology final : public Topology {
+ public:
+  explicit TieredTopology(std::shared_ptr<const TierSet> set);
+
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] Hop distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] Hop diameter() const override { return diameter_bound_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId u) const override;
+  [[nodiscard]] NodeId central_node() const override;
+  [[nodiscard]] std::size_t origin_universe() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string node_label(NodeId u) const override;
+  [[nodiscard]] const TieredTopology* as_tiered() const override {
+    return this;
+  }
+
+  [[nodiscard]] const TierSet& tier_set() const { return *set_; }
+  [[nodiscard]] std::shared_ptr<const TierSet> shared_tier_set() const {
+    return set_;
+  }
+
+ private:
+  void lift(TierSet::Location& loc, std::uint64_t& cost) const;
+
+  std::shared_ptr<const TierSet> set_;
+  Hop diameter_bound_ = 0;
+};
+
+}  // namespace proxcache

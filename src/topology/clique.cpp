@@ -1,0 +1,48 @@
+#include "topology/clique.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace proxcache {
+
+CliqueTopology::CliqueTopology(std::size_t n) : n_(n) {
+  PROXCACHE_REQUIRE(n >= 1, "clique needs >= 1 node");
+  PROXCACHE_REQUIRE(n <= static_cast<std::size_t>(kInvalidNode),
+                    "clique node count overflows NodeId");
+}
+
+Hop CliqueTopology::distance(NodeId u, NodeId v) const {
+  PROXCACHE_REQUIRE(u < n_ && v < n_, "node id out of range");
+  return u == v ? 0 : 1;
+}
+
+void CliqueTopology::visit_shell(NodeId u, Hop d, NodeVisitor fn) const {
+  PROXCACHE_REQUIRE(u < n_, "node id out of range");
+  if (d == 0) {
+    fn(u);
+    return;
+  }
+  if (d != 1) return;  // empty shell
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v != u) fn(v);
+  }
+}
+
+std::size_t CliqueTopology::shell_size(NodeId /*u*/, Hop d) const {
+  if (d == 0) return 1;
+  return d == 1 ? n_ - 1 : 0;
+}
+
+std::size_t CliqueTopology::ball_size(NodeId /*u*/, Hop r) const {
+  return r == 0 ? 1 : n_;
+}
+
+std::string CliqueTopology::describe() const {
+  std::ostringstream os;
+  os << "clique(n=" << n_ << ")";
+  return os.str();
+}
+
+}  // namespace proxcache

@@ -1,0 +1,44 @@
+#pragma once
+/// \file clique.hpp
+/// The complete graph K_n: every pair of distinct servers is one hop
+/// apart. Degenerate as a proximity model on its own, but the natural
+/// inner topology for tiers whose members are interchangeable — an origin
+/// pool or a back-end partition group behind a non-blocking switch — and
+/// the value the tier grammar's bare-count shorthand (`origin=4`)
+/// resolves to (tier/spec.hpp). All queries are closed-form.
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace proxcache {
+
+/// Complete graph K_n with unit hop distance between distinct nodes.
+class CliqueTopology final : public Topology {
+ public:
+  /// `n >= 1` nodes; every distinct pair is adjacent.
+  explicit CliqueTopology(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] Hop distance(NodeId u, NodeId v) const override;
+  [[nodiscard]] Hop diameter() const override { return n_ > 1 ? 1 : 0; }
+
+  /// Shell 1 is every other node, ascending — id order, like the base
+  /// scan, but without paying a distance call per node.
+  void visit_shell(NodeId u, Hop d, NodeVisitor fn) const override;
+
+  [[nodiscard]] bool directly_enumerates_shells() const override {
+    return true;
+  }
+
+  [[nodiscard]] std::size_t shell_size(NodeId u, Hop d) const override;
+  [[nodiscard]] std::size_t ball_size(NodeId u, Hop r) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace proxcache

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "topology/clique.hpp"
 #include "topology/graph_topology.hpp"
 #include "topology/hyperbolic.hpp"
 #include "topology/ring.hpp"
@@ -193,6 +194,18 @@ const TopologyRegistry& TopologyRegistry::built_ins() {
            [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
              return std::make_shared<RingTopology>(
                  static_cast<std::size_t>(spec.get_or("n", 4096.0)));
+           }});
+    r.add({"clique",
+           "complete graph K_n, every pair one hop apart (interchangeable "
+           "origin/partition pools; the tier grammar's bare-count form)",
+           {{"n", 1.0, 1048576.0, 16.0, "number of servers",
+             /*integral=*/true}},
+           [](const TopologySpec& spec) {
+             return static_cast<std::size_t>(spec.get_or("n", 16.0));
+           },
+           [](const TopologySpec& spec) -> std::shared_ptr<const Topology> {
+             return std::make_shared<CliqueTopology>(
+                 static_cast<std::size_t>(spec.get_or("n", 16.0)));
            }});
     r.add({"tree",
            "complete b-ary tree (hierarchical cache tiers)",

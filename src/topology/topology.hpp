@@ -34,6 +34,7 @@
 namespace proxcache {
 
 class Lattice;
+class TieredTopology;
 
 /// Visitor for shell/ball enumeration.
 using NodeVisitor = FunctionRef<void(NodeId)>;
@@ -121,6 +122,21 @@ class Topology {
   /// nullptr otherwise. The spatial layer uses it to keep the paper's
   /// torus/grid hot paths devirtualized and bucket-grid accelerated.
   [[nodiscard]] virtual const Lattice* as_lattice() const { return nullptr; }
+
+  /// Hierarchy hook: the concrete `TieredTopology` when this topology is a
+  /// tier composition (tier/tiered_topology.hpp), nullptr otherwise. The
+  /// workload generators and cross-tier strategies use it to learn the
+  /// tier/cluster structure without the core layers depending on it.
+  [[nodiscard]] virtual const TieredTopology* as_tiered() const {
+    return nullptr;
+  }
+
+  /// Number of nodes that originate requests — the prefix `[0,
+  /// origin_universe())` of the id space. Flat topologies serve and
+  /// originate everywhere (the default, `size()`); a tier composition
+  /// restricts demand to its front-end tier while back-end/origin nodes
+  /// only ever *serve*.
+  [[nodiscard]] virtual std::size_t origin_universe() const { return size(); }
 };
 
 }  // namespace proxcache

@@ -1,0 +1,18 @@
+#pragma once
+/// \file catalogs.hpp
+/// Shared `--list` implementation: prints every open catalog — scenarios,
+/// strategies, topologies, cache policies, and tier presets — as aligned
+/// tables. Both `scenario_runner` and `dynamic_runner` route their --list
+/// flags through here so a newly registered entry shows up in every CLI
+/// surface without touching the binaries.
+
+#include <iosfwd>
+
+namespace proxcache {
+
+/// Print the five catalogs to `os`, one table per registry, blank-line
+/// separated, in scenario / strategy / topology / cache-policy / tier
+/// order.
+void print_catalogs(std::ostream& os);
+
+}  // namespace proxcache

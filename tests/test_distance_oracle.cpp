@@ -186,6 +186,7 @@ TEST(DistanceOracle, LandmarkBoundHoldsOnEveryRegisteredTopology) {
       {"tree", "tree(branching=3, depth=3)"},
       {"rgg", "rgg(n=64, radius=0.22, seed=3)"},
       {"hyperbolic", "hyperbolic(n=64, degree=6, alpha=0.8, seed=2)"},
+      {"clique", "clique(n=24)"},
   };
   const TopologyRegistry& registry = TopologyRegistry::built_ins();
   for (const TopologyEntry& entry : registry.all()) {
@@ -274,6 +275,47 @@ TEST(DistanceOracle, LruEvictionKeepsMemoryBoundedWithoutChangingAnswers) {
   EXPECT_EQ(stats.rows_built, static_cast<std::uint64_t>(n));
   EXPECT_GT(stats.rows_evicted, 0u);
   EXPECT_EQ(stats.landmark_answers, 0u);
+}
+
+TEST(DistanceOracle, DeepBallWalksStreamWithoutGrowingResidentRows) {
+  const auto rgg = make_rgg_topology(200, 0.12, 13);
+  const CompactGraph& graph = rgg->graph();
+  const std::size_t n = graph.num_vertices();
+  const DistanceOracle dense(graph, DistanceOracle::Options{});
+  DistanceOracle::Options options;
+  options.dense_threshold = 0;
+  options.distance_ball_budget = 16;
+  // Roomy for budget-truncated rows but far below what n full BFS rows
+  // would need — if a deep walk ever materialized whole rows again, the
+  // LRU would fire and the eviction counter below would catch it.
+  options.cache_entry_budget = n * 64;
+  const DistanceOracle sparse(graph, options);
+
+  // A diameter-deep ball walk from every source stays exact (every node
+  // visited exactly once per source across the shells)...
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_EQ(sparse.ball_size(u, dense.diameter()), n) << "source " << u;
+  }
+  for (const NodeId u : {static_cast<NodeId>(0), static_cast<NodeId>(n / 3)}) {
+    std::size_t visited = 0;
+    for (Hop d = 0; d <= dense.diameter(); ++d) {
+      std::vector<NodeId> from_dense;
+      std::vector<NodeId> from_sparse;
+      dense.visit_shell(u, d, [&](NodeId v) { from_dense.push_back(v); });
+      sparse.visit_shell(u, d, [&](NodeId v) { from_sparse.push_back(v); });
+      EXPECT_EQ(from_sparse, from_dense) << "shell d=" << d << " of " << u;
+      visited += from_sparse.size();
+    }
+    EXPECT_EQ(visited, n) << "shells of " << u << " must partition the graph";
+  }
+
+  // ...while resident memory stays at the budget horizon: streamed levels
+  // never enter the cache, so no row exceeds the ball budget and nothing
+  // is ever evicted.
+  EXPECT_LE(sparse.cached_entries(), n * options.distance_ball_budget);
+  EXPECT_EQ(sparse.stats().rows_built, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(sparse.stats().rows_evicted, 0u)
+      << "deep ball walks must not blow the row cache past its budget";
 }
 
 }  // namespace

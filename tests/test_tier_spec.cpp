@@ -1,0 +1,146 @@
+// Tier-spec grammar (tier/spec.hpp) and the preset registry
+// (tier/registry.hpp): parse/print round trips, the bare-count clique
+// sugar, role ordering, cache overrides, and every documented rejection —
+// each error must carry the offending spec text and a usable hint, because
+// these strings surface directly on the runners' command lines.
+#include "tier/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "tier/registry.hpp"
+
+namespace proxcache {
+namespace {
+
+/// The grammar must reject `text`, mentioning `fragment` in the message.
+void expect_rejected(const std::string& text, const std::string& fragment) {
+  try {
+    (void)parse_tier_spec(text);
+    FAIL() << "'" << text << "' must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bad tier spec"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+        << "'" << text << "' rejection must mention '" << fragment
+        << "', got: " << error.what();
+  }
+}
+
+TEST(TierSpec, ParsesTheCanonicalCdnShapeAndRoundTrips) {
+  const TierSpec spec =
+      parse_tier_spec("tiers(front=torus(side=8)x8, back=ring(n=64), "
+                      "origin=1)");
+  ASSERT_EQ(spec.levels.size(), 3u);
+  EXPECT_EQ(spec.levels[0].role, "front");
+  EXPECT_EQ(spec.levels[0].topology.name, "torus");
+  EXPECT_EQ(spec.levels[0].clusters, 8u);
+  EXPECT_EQ(spec.levels[1].role, "back");
+  EXPECT_EQ(spec.levels[1].topology.name, "ring");
+  EXPECT_EQ(spec.levels[1].clusters, 1u);
+  EXPECT_EQ(spec.levels[2].role, "origin");
+  EXPECT_EQ(spec.levels[2].topology.name, "clique");
+  EXPECT_EQ(spec.link, 1u);
+  EXPECT_FALSE(spec.degenerate());
+  // to_string parses back to an equal spec (the canonical print form).
+  EXPECT_EQ(parse_tier_spec(spec.to_string()), spec);
+  EXPECT_EQ(spec.to_string(),
+            "tiers(front=torus(side=8)x8, back=ring(n=64), origin=1)");
+}
+
+TEST(TierSpec, BareCountsAreCliqueSugar) {
+  const TierSpec spec = parse_tier_spec("tiers(front=16x4, origin=1)");
+  EXPECT_EQ(spec.levels[0].topology.name, "clique");
+  EXPECT_EQ(spec.levels[0].topology.get_or("n", 0.0), 16.0);
+  EXPECT_EQ(spec.levels[0].clusters, 4u);
+  EXPECT_EQ(spec.to_string(), "tiers(front=16x4, origin=1)");
+}
+
+TEST(TierSpec, LinkAndCacheOverridesParseAndPrint) {
+  const TierSpec spec = parse_tier_spec(
+      "tiers(front=torus(side=4)x2, back=ring(n=16), origin=1, link=3, "
+      "back_cache=20)");
+  EXPECT_EQ(spec.link, 3u);
+  EXPECT_EQ(spec.levels[0].cache_size, 0u);  // inherits the config default
+  EXPECT_EQ(spec.levels[1].cache_size, 20u);
+  EXPECT_EQ(parse_tier_spec(spec.to_string()), spec);
+}
+
+TEST(TierSpec, KeysAreCaseInsensitiveAndWhitespaceTolerant) {
+  const TierSpec spec =
+      parse_tier_spec("  TIERS( Front = torus(side=4) , Origin = 1 )  ");
+  ASSERT_EQ(spec.levels.size(), 2u);
+  EXPECT_EQ(spec.levels[0].role, "front");
+  EXPECT_EQ(spec.levels[1].role, "origin");
+}
+
+TEST(TierSpec, DegeneratePredicateMatchesTheFlatContract) {
+  EXPECT_TRUE(parse_tier_spec("tiers(front=torus(side=10))").degenerate());
+  // Any of a second level, a cache override, or an origin role makes the
+  // composition a real hierarchy. (Clustering alone cannot: the grammar
+  // already rejects a clustered deepest tier.)
+  EXPECT_FALSE(
+      parse_tier_spec("tiers(front=torus(side=10)x2, back=8)").degenerate());
+  EXPECT_FALSE(parse_tier_spec("tiers(front=torus(side=10), front_cache=4)")
+                   .degenerate());
+  EXPECT_FALSE(
+      parse_tier_spec("tiers(front=torus(side=10), origin=1)").degenerate());
+  EXPECT_FALSE(parse_tier_spec("tiers(origin=4)").degenerate());
+  EXPECT_TRUE(TierSpec{}.empty());
+  EXPECT_FALSE(TierSpec{}.degenerate());
+}
+
+TEST(TierSpec, RejectsMalformedSpecsWithUsableMessages) {
+  expect_rejected("cdn-but-not-resolved", "expected the form");
+  expect_rejected("front=torus(side=8)", "expected the spec name");
+  expect_rejected("layers(front=8)", "'tiers'");
+  expect_rejected("tiers()", "stray comma");
+  expect_rejected("tiers(link=2)", "at least one tier role");
+  expect_rejected("tiers(front=8,, origin=1)", "stray comma");
+  expect_rejected("tiers(front)", "not key=value");
+  expect_rejected("tiers(middle=8)", "unknown key");
+  expect_rejected("tiers(back=8, front=torus(side=4))", "order");
+  expect_rejected("tiers(front=8, front=9)", "order");
+  expect_rejected("tiers(front=torus(side=4)", "unbalanced");
+  expect_rejected("tiers(front=)", "empty value");
+  expect_rejected("tiers(front=0)", "at least one node");
+  expect_rejected("tiers(front=8x0, origin=1)", "outside [1, 65536]");
+  expect_rejected("tiers(front=8, link=2000)", "outside [0, 1024]");
+  expect_rejected("tiers(front=8, link=1, link=2)", "duplicate");
+  expect_rejected("tiers(front=8, origin=1, origin_cache=4)",
+                  "full catalog");
+  expect_rejected("tiers(front=8, back_cache=4)", "not in the spec");
+  expect_rejected("tiers(front=8, mid_cache=0, mid=4)", "outside [1,");
+  // The deepest tier is where every route meets: it cannot be clustered.
+  expect_rejected("tiers(front=8x2)", "deepest tier");
+  expect_rejected("tiers(front=8, back=torus(side=4)x2)", "deepest tier");
+}
+
+TEST(TierRegistryTest, PresetsResolveAndRawSpecsPassThrough) {
+  const TierRegistry& registry = TierRegistry::built_ins();
+  ASSERT_FALSE(registry.all().empty());
+  for (const TierPreset& preset : registry.all()) {
+    EXPECT_EQ(registry.resolve(preset.name), preset.spec) << preset.name;
+    EXPECT_FALSE(preset.spec.degenerate()) << preset.name
+                                           << ": presets are hierarchies";
+  }
+  EXPECT_EQ(registry.resolve("tiers(front=torus(side=8)x8, back=ring(n=64), "
+                             "origin=1)"),
+            registry.at("cdn").spec);
+  try {
+    (void)registry.resolve("tiers(nope=1)");
+    FAIL() << "unknown key must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("known presets"),
+              std::string::npos)
+        << "resolve errors must list the preset vocabulary: "
+        << error.what();
+  }
+  EXPECT_THROW((void)registry.at("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace proxcache

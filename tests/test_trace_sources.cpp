@@ -8,6 +8,9 @@
 #include <set>
 
 #include "scenario/generators.hpp"
+#include "tier/tier_set.hpp"
+#include "tier/tiered_topology.hpp"
+#include "topology/shells.hpp"
 
 namespace proxcache {
 namespace {
@@ -245,6 +248,73 @@ TEST(Factory, DispatchesEveryTraceKind) {
     EXPECT_NE(source->describe().find(c.needle), std::string::npos)
         << source->describe();
   }
+}
+
+// Regression lock for the demand-disc anchor. Flat topologies must keep
+// the historical disc bit-exactly: the ball around `central_node()`, which
+// for the 10×10 test torus is the node at (5, 5). Any tier-layer change
+// that re-anchors flat discs moves hotspot/flash golden masters — this
+// pins it before they can.
+TEST(AnchorDisc, FlatTopologiesKeepTheHistoricalCentralAnchor) {
+  const Lattice lattice = test_lattice();
+  OriginSpec origins;
+  origins.kind = OriginKind::Hotspot;
+  origins.hotspot_fraction = 0.6;
+  origins.hotspot_radius = 2;
+  const OriginModel model(lattice, origins);
+  const std::vector<NodeId> expected =
+      collect_ball(lattice, lattice.node(Point{5, 5}), 2);
+  EXPECT_EQ(model.disc(), expected);
+  EXPECT_EQ(expected.size(), 13u);  // |B_2| on a torus: 1 + 4 + 8
+  // The flash-crowd pulse shares the same anchor.
+  TraceSpec spec;
+  spec.kind = TraceKind::FlashCrowd;
+  spec.flash_radius = 2;
+  const FlashCrowdTraceSource flash(lattice, Popularity::uniform(10), spec,
+                                    100);
+  EXPECT_EQ(flash.disc(), expected);
+}
+
+// On a hierarchy the disc is anchored per front-end cluster: every edge
+// PoP gets the inner ball around its own center, mapped to global ids —
+// never a composed-metric ball that would leak through the gateway into
+// back-end or origin nodes (which cannot originate requests).
+TEST(AnchorDisc, TieredTopologiesAnchorPerFrontCluster) {
+  const auto set = TierSet::build(
+      parse_tier_spec("tiers(front=torus(side=4)x3, back=ring(n=12), "
+                      "origin=1)"),
+      4);
+  const TieredTopology topology(set);
+  OriginSpec origins;
+  origins.kind = OriginKind::Hotspot;
+  origins.hotspot_fraction = 0.6;
+  origins.hotspot_radius = 1;
+  const OriginModel model(topology, origins);
+  const TierLevel& front = set->levels().front();
+  const std::vector<NodeId> inner =
+      collect_ball(*front.inner, front.inner->central_node(), 1);
+  ASSERT_EQ(model.disc().size(), inner.size() * front.clusters);
+  std::size_t i = 0;
+  for (std::uint32_t k = 0; k < front.clusters; ++k) {
+    for (const NodeId v : inner) {
+      EXPECT_EQ(model.disc()[i++],
+                front.base + k * front.cluster_nodes + v);
+    }
+  }
+  for (const NodeId u : model.disc()) {
+    EXPECT_LT(u, front.nodes) << "discs never leave the front tier";
+  }
+  // Sampling respects the origin universe even off-disc.
+  Rng rng(41);
+  for (int draw = 0; draw < 300; ++draw) {
+    EXPECT_LT(model.sample(rng), front.nodes);
+  }
+  TraceSpec spec;
+  spec.kind = TraceKind::FlashCrowd;
+  spec.flash_radius = 1;
+  const FlashCrowdTraceSource flash(topology, Popularity::uniform(10), spec,
+                                    100);
+  EXPECT_EQ(flash.disc(), model.disc());
 }
 
 TEST(TraceKindNames, RoundTrip) {
